@@ -1,0 +1,24 @@
+"""Section 6 — extra delta cycles vs. input load.
+
+Paper: "the percentage of extra delta cycles is between 1.5 and 2 times
+the input load" (measured on the default 4-flit-deep router).
+"""
+
+from repro.experiments import deltas
+from repro.experiments.common import scale
+
+
+def test_delta_overhead_vs_load(benchmark):
+    result = benchmark.pedantic(
+        deltas.run,
+        kwargs={"loads": (0.03, 0.07, 0.11, 0.14), "cycles": scale(1200)},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.linear_in_load()
+    assert result.in_band()  # coefficient of order 1.5-2 on 4-deep queues
+    # Sensitivity: shallow (Fig. 1) queues roughly double the coefficient.
+    depth2 = result.ratios(queue_depth=2)
+    depth4 = result.ratios(queue_depth=4)
+    assert min(depth2) > max(depth4)
+    benchmark.extra_info["rows"] = result.rows()

@@ -1,0 +1,55 @@
+"""Buffer-size ablation — the study the paper builds the simulator *for*.
+
+Section 3: "we would like to redo the simulation of Figure 1 with
+different buffer sizes and investigate what the effect of buffer size on
+performance and energy consumption is."  This bench does exactly that:
+one Fig. 1 load point at queue depths 1, 2 and 4, reporting latency and
+the Table-1 state cost (the energy/area proxy: buffer bits per router).
+"""
+
+from repro.engines import SequentialEngine
+from repro.experiments.common import scale
+from repro.noc import NetworkConfig, RouterConfig
+from repro.noc.layout import table1
+from repro.noc.packet import PacketClass
+from repro.stats import PacketLatencyTracker
+from repro.traffic import BernoulliBeTraffic, TrafficDriver, uniform_random
+
+LOAD = 0.10
+
+
+def run_depth(depth, cycles):
+    net = NetworkConfig(6, 6, router=RouterConfig(queue_depth=depth))
+    engine = SequentialEngine(net)
+    be = BernoulliBeTraffic(net, LOAD, uniform_random(net), seed=0xFEED)
+    driver = TrafficDriver(engine, be=be)
+    tracker = PacketLatencyTracker(net)
+    driver.attach_tracker(tracker)
+    driver.run(cycles)
+    driver.be = None
+    driver.drain()
+    tracker.collect(engine)
+    stats = tracker.stats(PacketClass.BE)
+    bits = table1(net.router)["Input queues"]
+    return stats, bits, engine.metrics.extra_fraction()
+
+
+def test_buffer_size_sweep(benchmark):
+    cycles = scale(1200)
+
+    def sweep():
+        return {d: run_depth(d, cycles) for d in (1, 2, 4)}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Cost side: buffer bits scale linearly with depth.
+    assert results[1][1] == 360 and results[2][1] == 720 and results[4][1] == 1440
+    # Performance side: deeper queues do not hurt latency; depth 1
+    # (no pipelining slack) is the worst.
+    mean = {d: results[d][0].mean for d in results}
+    assert mean[1] >= mean[2] >= mean[4] * 0.9
+    # Delta-cycle side: shallow queues cause more re-evaluation.
+    extra = {d: results[d][2] for d in results}
+    assert extra[1] > extra[4]
+    benchmark.extra_info["mean_latency"] = {d: round(m, 1) for d, m in mean.items()}
+    benchmark.extra_info["buffer_bits"] = {d: results[d][1] for d in results}
+    benchmark.extra_info["extra_deltas"] = {d: round(extra[d], 3) for d in results}

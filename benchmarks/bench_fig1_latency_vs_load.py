@@ -1,0 +1,32 @@
+"""Figure 1 — GT/BE latency vs. offered BE load (6x6, queue depth 2).
+
+Shape assertions (the paper's qualitative claims):
+
+* GT latency exceeds BE latency (GT packets are 256 B vs 10 B);
+* GT mean and max grow with the BE load;
+* GT max never exceeds the guarantee bound;
+* at low load GT sits well below the guarantee (it uses bandwidth the
+  BE traffic leaves free).
+"""
+
+from repro.experiments import fig1
+from repro.experiments.common import scale
+
+LOADS = (0.0, 0.04, 0.08, 0.12, 0.14)
+
+
+def test_fig1_latency_vs_load(benchmark):
+    result = benchmark.pedantic(
+        fig1.run,
+        kwargs={"loads": LOADS, "cycles": scale(2500)},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.gt_above_be()
+    assert result.gt_latency_increases()
+    assert result.gt_max_below_guarantee()
+    first, last = result.points[0], result.points[-1]
+    # GT max grows with load but stays clearly under the bound at idle.
+    assert first.gt_max < first.guarantee * 0.8
+    assert last.gt_max > first.gt_max
+    benchmark.extra_info["rows"] = result.rows()

@@ -1,0 +1,60 @@
+"""Scheduling ablation — dynamic HBR vs. a static schedule.
+
+The paper's dynamic scheme needs link-memory status bits and a
+non-trivial scheduler; the payoff is that a system cycle costs close to
+the R-delta floor instead of the 3R a static schedule needs for a design
+with combinatorial boundaries.  This bench quantifies that trade.
+"""
+
+from repro.engines import SequentialEngine
+from repro.engines.sequential import StaticScheduleEngine
+from repro.experiments.common import fig1_network, scale
+from repro.traffic import BernoulliBeTraffic, TrafficDriver, uniform_random
+
+LOAD = 0.08
+
+
+def run_schedule(engine_cls, cycles):
+    net = fig1_network()
+    engine = engine_cls(net)
+    be = BernoulliBeTraffic(net, LOAD, uniform_random(net), seed=0xAB1E)
+    TrafficDriver(engine, be=be).run(cycles)
+    return engine
+
+
+def test_dynamic_schedule(benchmark):
+    cycles = scale(400)
+    engine = benchmark.pedantic(
+        run_schedule, args=(SequentialEngine, cycles), rounds=1, iterations=1
+    )
+    mean = engine.metrics.mean_deltas_per_cycle()
+    # Dynamic: close to the 36-delta floor.
+    assert mean < 36 * 1.6
+    benchmark.extra_info["mean_deltas_per_cycle"] = round(mean, 2)
+
+
+def test_static_schedule(benchmark):
+    cycles = scale(400)
+    engine = benchmark.pedantic(
+        run_schedule, args=(StaticScheduleEngine, cycles), rounds=1, iterations=1
+    )
+    mean = engine.metrics.mean_deltas_per_cycle()
+    # Static: exactly 3 sweeps x 36 routers.
+    assert mean == 108
+    benchmark.extra_info["mean_deltas_per_cycle"] = mean
+
+
+def test_dynamic_beats_static_in_modeled_fpga_time(benchmark):
+    """On the modelled FPGA (2 cycles/delta), the dynamic schedule's
+    delta savings translate directly into simulation speed."""
+    cycles = scale(300)
+
+    def ratio():
+        dynamic = run_schedule(SequentialEngine, cycles)
+        static = run_schedule(StaticScheduleEngine, cycles)
+        assert dynamic.snapshot() == static.snapshot()  # same results!
+        return static.metrics.total_deltas / dynamic.metrics.total_deltas
+
+    value = benchmark.pedantic(ratio, rounds=1, iterations=1)
+    assert value > 1.8  # at Fig-1 loads the dynamic schedule is ~2-3x cheaper
+    benchmark.extra_info["delta_ratio_static_over_dynamic"] = round(value, 2)

@@ -1,0 +1,38 @@
+"""Table 1 — registers per router: exactness plus pack/unpack throughput.
+
+The sequential simulator reads and writes one packed state word per
+delta cycle, so pack/unpack is its memory datapath; this bench measures
+it and re-derives the published bit budget.
+"""
+
+from repro.experiments import table1
+from repro.noc import Network, NetworkConfig
+from repro.noc.layout import pack_router_core, unpack_router_core
+
+from tests.helpers import PacketDriver, be_packet
+
+
+def test_table1_exact(benchmark):
+    result = benchmark(table1.run)
+    assert result.exact()
+    benchmark.extra_info["table1"] = result.derived
+
+
+def test_state_word_pack_unpack_roundtrip(benchmark):
+    cfg = NetworkConfig(3, 3)
+    network = Network(cfg)
+    driver = PacketDriver(network)
+    for seq in range(5):
+        driver.send(be_packet(cfg, seq, (seq * 2 + 1) % 9, nbytes=20, seq=seq), vc=2)
+    driver.run(10)
+    states = list(network.states)
+    rc = cfg.router
+
+    def roundtrip():
+        for state in states:
+            word = pack_router_core(rc, state)
+            unpack_router_core(rc, word)
+
+    benchmark(roundtrip)
+    for state in states:
+        assert unpack_router_core(rc, pack_router_core(rc, state)) == state

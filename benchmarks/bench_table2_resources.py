@@ -1,0 +1,22 @@
+"""Table 2 — FPGA resource usage, plus the section-4 direct-instantiation
+limit (the ~24-router wall that motivated the whole method)."""
+
+from repro.experiments import table2
+from repro.fpga.resources import direct_instantiation_limit, simulator_resources
+from repro.noc import NetworkConfig
+
+
+def test_table2_exact(benchmark):
+    result = benchmark(table2.run)
+    assert result.exact()
+    benchmark.extra_info["rows"] = result.rows()
+    benchmark.extra_info["direct_limit"] = result.direct.max_routers
+
+
+def test_direct_instantiation_band(benchmark):
+    est = benchmark(direct_instantiation_limit, 6)
+    assert 20 <= est.max_routers <= 28  # paper: "approximately 24"
+    # The sequential simulator fits 256 routers on the same device.
+    report = simulator_resources(NetworkConfig(16, 16))
+    assert report.fits()
+    benchmark.extra_info["sequential_vs_direct"] = 256 / est.max_routers

@@ -1,0 +1,21 @@
+"""Table 4 — per-phase profile of the five-step simulation loop."""
+
+from repro.experiments import table4
+from repro.experiments.common import scale
+from repro.fpga.timing import PAPER_TABLE4
+
+
+def test_table4_profile(benchmark):
+    result = benchmark.pedantic(
+        table4.run, kwargs={"cycles": scale(360)}, rounds=1, iterations=1
+    )
+    assert result.within_paper_ranges()
+    envelope = result.envelope()
+    # generation dominates (section 6: "the majority of the time is
+    # spent in the generation of the data")
+    assert envelope["generate"][0] == max(lo for lo, _ in envelope.values())
+    # the FPGA itself is almost free ("the simulation itself is almost
+    # zero, because it runs in parallel with generation and analysis")
+    assert envelope["simulate"][1] <= 3.0
+    benchmark.extra_info["measured"] = {k: tuple(round(x, 1) for x in v) for k, v in envelope.items()}
+    benchmark.extra_info["paper"] = PAPER_TABLE4

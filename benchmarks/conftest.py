@@ -1,0 +1,10 @@
+"""Benchmark-harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+asserts its *shape* (who wins, by what order, where the crossovers are).
+Absolute timings come from pytest-benchmark; the reproduced artifact is
+attached to each benchmark's ``extra_info`` so
+``pytest benchmarks/ --benchmark-json=out.json`` captures everything.
+
+Budgets scale with ``REPRO_SCALE`` (see repro.experiments.common.scale).
+"""

@@ -1,0 +1,65 @@
+"""A miniature Figure 1: GT/BE latency against best-effort load.
+
+The study the 4S project needed the fast simulator for — observe the
+network "under a large variety of traffic patterns" and check that
+guaranteed-throughput traffic stays below its latency bound while
+best-effort load is swept.
+
+Run:  python examples/latency_study.py            (about a minute)
+      REPRO_SCALE=0.3 python examples/latency_study.py   (quick look)
+"""
+
+import os
+
+from repro.experiments import fig1
+from repro.experiments.common import scale
+from repro.stats import Histogram
+
+
+def ascii_series(label, values, peak, width=46):
+    bar = "#" * max(1, round(values / peak * width)) if values else ""
+    return f"  {label:>6.2f} {bar} {values:.0f}"
+
+
+def main() -> None:
+    loads = (0.0, 0.04, 0.08, 0.12, 0.14)
+    result = fig1.run(loads=loads, cycles=scale(2500))
+    print(result.render())
+
+    print("\nGT mean latency by BE load:")
+    peak = max(p.gt_mean for p in result.points if p.gt_mean)
+    for p in result.points:
+        if p.gt_mean:
+            print(ascii_series(p.be_load, p.gt_mean, peak))
+    print(f"\nguarantee bound: {result.points[0].guarantee} cycles; "
+          f"GT max stayed below it at every load: {result.gt_max_below_guarantee()}")
+
+    # A latency histogram for the heaviest point, from the same data the
+    # analysis step of the platform would store.
+    print(f"\nGT latency distribution at BE load {loads[-1]}:")
+    hist = Histogram(bin_width=25)
+    from repro.engines import SequentialEngine
+    from repro.noc.packet import PacketClass
+    from repro.stats import PacketLatencyTracker
+    from repro.experiments.common import fig1_network, fig1_gt_streams
+    from repro.traffic import BernoulliBeTraffic, GtStreamTraffic, TrafficDriver, uniform_random
+
+    net = fig1_network()
+    engine = SequentialEngine(net)
+    gt = GtStreamTraffic(net, fig1_gt_streams(net).streams, period=1300)
+    be = BernoulliBeTraffic(net, loads[-1], uniform_random(net), seed=0x111)
+    driver = TrafficDriver(engine, be=be, gt=gt)
+    tracker = PacketLatencyTracker(net)
+    driver.attach_tracker(tracker)
+    driver.run(scale(2500))
+    driver.be = driver.gt = None
+    driver.drain()
+    tracker.collect(engine)
+    hist.extend(
+        s.total_latency for s in tracker.samples if s.pclass is PacketClass.GT
+    )
+    print(hist.render())
+
+
+if __name__ == "__main__":
+    main()

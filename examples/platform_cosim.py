@@ -1,0 +1,62 @@
+"""The full ARM + FPGA platform co-simulation (paper section 5).
+
+Runs the five-phase control loop — generate stimuli, load the FPGA's
+cyclic buffers, simulate one period, retrieve the output buffers,
+analyze — over the sequential simulator, and prints the Table 4 profile
+and Table 3 speed figures the timing model predicts for the paper's
+86 MHz ARM9 + 6.6 MHz Virtex-II platform.
+
+Run:  python examples/platform_cosim.py
+"""
+
+from repro.engines import SequentialEngine
+from repro.fpga.timing import FpgaTimingModel
+from repro.noc import NetworkConfig
+from repro.noc.packet import PacketClass
+from repro.platform import SimulationController
+from repro.stats import PacketLatencyTracker
+from repro.traffic import BernoulliBeTraffic, GtStreamTraffic, uniform_random
+from repro.traffic.generators import reserve_shift_streams
+
+
+def main() -> None:
+    net = NetworkConfig(6, 6, topology="torus")
+    engine = SequentialEngine(net)
+
+    reservations = reserve_shift_streams(net, dx=1)
+    gt = GtStreamTraffic(net, reservations.streams, period=800, payload_bytes=64)
+    be = BernoulliBeTraffic(net, load=0.10, pattern=uniform_random(net), seed=0xC0DE)
+    tracker = PacketLatencyTracker(net)
+
+    controller = SimulationController(
+        engine, be=be, gt=gt, tracker=tracker, complex_analysis=True
+    )
+    report = controller.run(cycles=720)
+
+    print(f"simulated {report.cycles} system cycles in {report.periods} periods "
+          f"of {controller.period} cycles")
+    print(f"flits: generated {report.flits_generated}, loaded {report.flits_loaded}, "
+          f"retrieved {report.flits_retrieved}")
+    print(f"delta cycles: {report.total_deltas} "
+          f"({report.total_deltas / report.cycles:.1f} per system cycle; "
+          f"floor is {net.n_routers})")
+    print(f"overloaded: {report.overloaded}\n")
+
+    print("Table 4 analogue — modelled time per simulation step:")
+    print(report.profile.render())
+    ceiling = FpgaTimingModel().theoretical_max_cps(net.n_routers)
+    print(f"\nmodelled platform speed: {report.modeled_cps:,.0f} simulated cycles/s "
+          f"(ceiling {ceiling:,.0f}; paper Table 3: 22 kHz average)")
+
+    gt_stats = tracker.stats(PacketClass.GT)
+    be_stats = tracker.stats(PacketClass.BE)
+    if gt_stats:
+        print(f"\nGT latency: mean {gt_stats.mean:.1f}, max {gt_stats.maximum} cycles "
+              f"({gt_stats.count} packets)")
+    if be_stats:
+        print(f"BE latency: mean {be_stats.mean:.1f}, max {be_stats.maximum} cycles "
+              f"({be_stats.count} packets)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Bit-accurate fixed-width vectors and field packing.
+
+This package is the foundation of the "bit accurate" part of the
+reproduction: every piece of architectural state in the simulated SoC
+(router queues, pointers, link words, the 2112-bit state word of the
+paper's Table 1) is ultimately represented as a :class:`BitVector` or a
+packed :class:`StructLayout` over one.
+"""
+
+from repro.bits.bitvector import BitVector, bv, concat, ones, zeros
+from repro.bits.packing import ArrayField, Field, StructLayout
+
+__all__ = [
+    "ArrayField",
+    "BitVector",
+    "Field",
+    "StructLayout",
+    "bv",
+    "concat",
+    "ones",
+    "zeros",
+]

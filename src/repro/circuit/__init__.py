@@ -1,0 +1,33 @@
+"""The circuit-switched Network-on-Chip (paper section 2, reference [16]).
+
+The 4S project defined *two* networks: the packet-switched one
+(:mod:`repro.noc`) and an energy-efficient reconfigurable
+circuit-switched one.  Section 2 notes that the simulation approach
+"can also be used for the circuit-switched network"; this package
+builds that network and demonstrates the claim — because the
+circuit-switched router's outputs are registered, it simulates under
+the *static* schedule of section 4.1 (Fig. 3), needing none of the
+HBR machinery.
+
+* :mod:`repro.circuit.router` — the lane-based configurable router,
+* :mod:`repro.circuit.network` — direct cycle-accurate simulation,
+* :mod:`repro.circuit.setup` — circuit (path + lane) reservation,
+* :mod:`repro.circuit.sequential` — the section-4.1 sequential
+  simulation of the same network, bit-identical to the direct model.
+"""
+
+from repro.circuit.network import CircuitNetwork
+from repro.circuit.router import CircuitConfig, CircuitRouterState, circuit_state_bits
+from repro.circuit.setup import Circuit, CircuitManager, SetupError
+from repro.circuit.sequential import SequentialCircuitNetwork
+
+__all__ = [
+    "Circuit",
+    "CircuitConfig",
+    "CircuitManager",
+    "CircuitNetwork",
+    "CircuitRouterState",
+    "SequentialCircuitNetwork",
+    "SetupError",
+    "circuit_state_bits",
+]

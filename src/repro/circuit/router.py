@@ -1,0 +1,138 @@
+"""The circuit-switched router (Wolkotte et al., RAW 2005 — paper ref [16]).
+
+Unlike the packet-switched router there are no queues and no
+arbitration: every link consists of ``n_lanes`` physical lanes, and a
+*circuit* owns one lane on every link of its path.  The router is a
+configurable crossbar followed by an output register per (port, lane):
+
+* configuration state: for every output (port, lane), which input
+  (port, lane) feeds it (or none) — written during circuit setup, static
+  while data streams;
+* pipeline state: the output registers — one word of payload per lane,
+  giving the circuit-switched guarantees: fixed latency of one cycle per
+  hop and one word per cycle of bandwidth.
+
+Because *all* outputs are registered, a network of these routers has
+registered boundaries in the sense of paper section 4.1: its sequential
+simulation needs only the static schedule of Fig. 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.noc.config import Port
+
+
+@dataclass(frozen=True)
+class CircuitConfig:
+    """Parameters of the circuit-switched fabric."""
+
+    width: int
+    height: int
+    topology: str = "torus"
+    n_ports: int = 5
+    n_lanes: int = 4
+    data_width: int = 16
+
+    def __post_init__(self) -> None:
+        if self.topology not in ("torus", "mesh"):
+            raise ValueError(f"unknown topology {self.topology!r}")
+        if self.width < 1 or self.height < 1 or self.n_routers < 2:
+            raise ValueError("network must contain at least 2 routers")
+        if self.n_lanes < 1:
+            raise ValueError("need at least one lane per link")
+        if self.data_width < 1:
+            raise ValueError("data width must be positive")
+
+    @property
+    def n_routers(self) -> int:
+        return self.width * self.height
+
+    @property
+    def n_channels(self) -> int:
+        """Crossbar endpoints per router: ports x lanes."""
+        return self.n_ports * self.n_lanes
+
+    def coords(self, index: int) -> Tuple[int, int]:
+        if not 0 <= index < self.n_routers:
+            raise IndexError(f"router {index} out of range")
+        return index % self.width, index // self.width
+
+    def index(self, x: int, y: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise IndexError(f"coordinates ({x}, {y}) out of range")
+        return y * self.width + x
+
+    def channel(self, port: Port | int, lane: int) -> int:
+        """Flat index of a (port, lane) crossbar endpoint."""
+        if not 0 <= lane < self.n_lanes:
+            raise IndexError(f"lane {lane} out of range")
+        return int(port) * self.n_lanes + lane
+
+
+class CircuitRouterState:
+    """Configuration and pipeline registers of one router."""
+
+    __slots__ = ("cfg", "source", "out_reg", "out_valid")
+
+    def __init__(self, cfg: CircuitConfig) -> None:
+        self.cfg = cfg
+        #: source[out_channel] = input channel feeding it, or -1 (open).
+        self.source: List[int] = [-1] * cfg.n_channels
+        #: registered output word per channel.
+        self.out_reg: List[int] = [0] * cfg.n_channels
+        #: registered valid bit per channel (a lane carries data or not).
+        self.out_valid: List[int] = [0] * cfg.n_channels
+
+    def connect(self, in_port: Port | int, in_lane: int, out_port: Port | int, out_lane: int) -> None:
+        """Program one crossbar connection (circuit setup)."""
+        out_ch = self.cfg.channel(out_port, out_lane)
+        if self.source[out_ch] >= 0:
+            raise ValueError(
+                f"output channel ({Port(int(out_port)).name}, lane {out_lane}) already in use"
+            )
+        self.source[out_ch] = self.cfg.channel(in_port, in_lane)
+
+    def disconnect(self, out_port: Port | int, out_lane: int) -> None:
+        """Remove a connection (circuit teardown) and clear the register."""
+        out_ch = self.cfg.channel(out_port, out_lane)
+        self.source[out_ch] = -1
+        self.out_reg[out_ch] = 0
+        self.out_valid[out_ch] = 0
+
+    def is_free(self, out_port: Port | int, out_lane: int) -> bool:
+        return self.source[self.cfg.channel(out_port, out_lane)] < 0
+
+    def copy(self) -> "CircuitRouterState":
+        new = CircuitRouterState.__new__(CircuitRouterState)
+        new.cfg = self.cfg
+        new.source = list(self.source)
+        new.out_reg = list(self.out_reg)
+        new.out_valid = list(self.out_valid)
+        return new
+
+    def state_tuple(self) -> Tuple:
+        return (tuple(self.source), tuple(self.out_reg), tuple(self.out_valid))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CircuitRouterState):
+            return NotImplemented
+        return self.state_tuple() == other.state_tuple()
+
+
+def circuit_state_bits(cfg: CircuitConfig) -> dict:
+    """Register budget per router, Table-1 style.
+
+    The configuration entry needs one valid bit plus an input-channel
+    index; each output register holds a data word plus its valid bit.
+    """
+    channel_bits = max(1, (cfg.n_channels - 1).bit_length())
+    config = cfg.n_channels * (1 + channel_bits)
+    pipeline = cfg.n_channels * (cfg.data_width + 1)
+    return {
+        "Crossbar configuration": config,
+        "Output registers": pipeline,
+        "Total": config + pipeline,
+    }

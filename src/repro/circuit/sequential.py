@@ -1,0 +1,119 @@
+"""Sequential simulation of the circuit-switched network (section 4.1).
+
+The circuit-switched router's outputs are all registered, so the
+network has *registered boundaries* — the easy case of the paper's
+method: map every router's registers into the double-banked memory and
+evaluate the routers once per system cycle in arbitrary order (Fig. 3),
+with no link memory and no HBR bits.
+
+This module instantiates the generic :class:`StaticBlockSimulator` for
+the circuit network and provides the same public API as
+:class:`CircuitNetwork`, bit-identical results included (checked in
+``tests/test_circuit.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.circuit.network import CircuitEjection, CircuitNetwork
+from repro.circuit.router import CircuitConfig
+from repro.noc.config import Port
+from repro.seqsim.blocks import RegisteredBlock, StaticBlockSimulator
+
+
+class SequentialCircuitNetwork(CircuitNetwork):
+    """Drop-in CircuitNetwork whose ``step`` runs the static sequential
+    schedule over the generic block framework.
+
+    The crossbar configuration is quasi-static (written through the
+    memory interface between cycles, like the paper's "addressing
+    function"), so only the output registers live in the banked memory.
+    """
+
+    def __init__(self, cfg: CircuitConfig, order: Optional[Sequence[int]] = None) -> None:
+        super().__init__(cfg)
+        self._order = list(order) if order is not None else None
+        self._sim: Optional[StaticBlockSimulator] = None
+
+    def _elaborate(self) -> None:
+        if self._sim is not None:
+            return
+        cfg = self.cfg
+        word = cfg.data_width + 1  # data + valid per channel
+
+        def make_fn(router: int):
+            def fn(inputs: Dict[str, int]) -> Dict[str, int]:
+                state = self.states[router]
+                out: Dict[str, int] = {}
+                for out_ch in range(cfg.n_channels):
+                    src_ch = state.source[out_ch]
+                    if src_ch < 0:
+                        out[f"ch{out_ch}"] = 0
+                        continue
+                    in_port, in_lane = divmod(src_ch, cfg.n_lanes)
+                    if in_port == Port.LOCAL:
+                        value = (self.inj_valid[router][in_lane] << cfg.data_width) | (
+                            self.inj_word[router][in_lane]
+                        )
+                    else:
+                        value = inputs.get(f"in{in_port}_{in_lane}", 0)
+                    out[f"ch{out_ch}"] = value
+                return out
+
+            return fn
+
+        blocks = [
+            RegisteredBlock(
+                f"r{r}",
+                tuple((f"ch{ch}", word) for ch in range(cfg.n_channels)),
+                make_fn(r),
+            )
+            for r in range(cfg.n_routers)
+        ]
+        sim = StaticBlockSimulator(blocks, order=self._order)
+        # Wire: our input (port p, lane l) is the neighbour's registered
+        # output channel (opposite(p), l).
+        for r in range(cfg.n_routers):
+            for p in range(1, cfg.n_ports):
+                neighbor = self._neighbor[r][p]
+                if neighbor is None:
+                    continue
+                for lane in range(cfg.n_lanes):
+                    src_ch = cfg.channel(Port(p).opposite, lane)
+                    sim.connect(f"r{neighbor}", f"ch{src_ch}", f"r{r}", f"in{p}_{lane}")
+        self._sim = sim
+
+    def step(self) -> None:
+        self._elaborate()
+        cfg = self.cfg
+        self._sim.step()
+        # Mirror the banked registers back into the CircuitRouterState
+        # objects so the public API (snapshot, ejections) is unchanged.
+        for r in range(cfg.n_routers):
+            values = self._sim.blocks[r].unpack(self._sim.memory.read(r))
+            state = self.states[r]
+            for out_ch in range(cfg.n_channels):
+                value = values[f"ch{out_ch}"]
+                state.out_reg[out_ch] = value & ((1 << cfg.data_width) - 1)
+                state.out_valid[out_ch] = value >> cfg.data_width
+        base = int(Port.LOCAL) * cfg.n_lanes
+        for r in range(cfg.n_routers):
+            for lane in range(cfg.n_lanes):
+                if self.states[r].out_valid[base + lane]:
+                    self.ejections.append(
+                        CircuitEjection(
+                            self.cycle, r, lane, self.states[r].out_reg[base + lane]
+                        )
+                    )
+        for r in range(cfg.n_routers):
+            for lane in range(cfg.n_lanes):
+                self.inj_word[r][lane] = 0
+                self.inj_valid[r][lane] = 0
+        self.cycle += 1
+
+    @property
+    def metrics(self):
+        """Delta metrics of the underlying static schedule."""
+        self._elaborate()
+        return self._sim.metrics

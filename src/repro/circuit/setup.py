@@ -1,0 +1,157 @@
+"""Circuit setup and teardown: path and lane reservation.
+
+A circuit owns one lane on every link of its (XY-routed) path.  Setup
+programs the crossbar configuration of every router on the path; the
+lane may differ per hop (the crossbar can switch lanes), so a circuit is
+blocked only when some link on the path has *no* free lane — the
+lane-granularity the real chip provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.circuit.network import CircuitNetwork
+from repro.noc.config import NetworkConfig, Port
+from repro.noc.routing import RoutingTable
+
+
+class SetupError(RuntimeError):
+    """No free lane on some link of the requested path."""
+
+
+@dataclass(frozen=True)
+class Circuit:
+    """A live connection: the programmed (router, in(port,lane),
+    out(port,lane)) hops from source to destination."""
+
+    src: int
+    dest: int
+    hops: Tuple[Tuple[int, Tuple[int, int], Tuple[int, int]], ...]
+
+    @property
+    def n_hops(self) -> int:
+        """Link traversals between distinct routers."""
+        return len(self.hops) - 1
+
+    @property
+    def latency(self) -> int:
+        """Injection-to-ejection latency in cycles: one output register
+        per router on the path."""
+        return len(self.hops)
+
+    @property
+    def entry_lane(self) -> int:
+        return self.hops[0][1][1]
+
+    @property
+    def exit_lane(self) -> int:
+        return self.hops[-1][2][1]
+
+
+class CircuitManager:
+    """Sets up and tears down circuits on a :class:`CircuitNetwork`."""
+
+    def __init__(self, network: CircuitNetwork) -> None:
+        self.network = network
+        cfg = network.cfg
+        self._routing = RoutingTable(
+            NetworkConfig(cfg.width, cfg.height, topology=cfg.topology)
+        )
+        self.circuits: List[Circuit] = []
+        self._backlogs: Dict[int, List[int]] = {}
+
+    def setup(self, src: int, dest: int) -> Circuit:
+        """Reserve a circuit src -> dest; raises :class:`SetupError` when
+        some link on the path is fully occupied.  Reservation is atomic:
+        a failed setup leaves no partial configuration behind."""
+        if src == dest:
+            raise SetupError("a circuit needs distinct endpoints")
+        cfg = self.network.cfg
+        path_ports = list(self._routing.links_on_path(src, dest))  # (router, out_port)
+        routers = [r for r, _ in path_ports] + [dest]
+
+        hops: List[Tuple[int, Tuple[int, int], Tuple[int, int]]] = []
+        in_port: int = int(Port.LOCAL)
+        in_lane = self._free_input_lane(src)
+        programmed: List[Tuple[int, int, int]] = []  # (router, out_port, out_lane)
+        try:
+            for i, router in enumerate(routers):
+                out_port = (
+                    int(path_ports[i][1]) if i < len(path_ports) else int(Port.LOCAL)
+                )
+                out_lane = self._free_output_lane(router, out_port)
+                state = self.network.states[router]
+                state.connect(in_port, in_lane, out_port, out_lane)
+                programmed.append((router, out_port, out_lane))
+                hops.append(((router), (in_port, in_lane), (out_port, out_lane)))
+                # Next router samples our output at its opposite port,
+                # on the same physical lane.
+                if out_port != int(Port.LOCAL):
+                    in_port = int(Port(out_port).opposite)
+                    in_lane = out_lane
+        except SetupError:
+            for router, port, lane in programmed:
+                self.network.states[router].disconnect(port, lane)
+            raise
+        circuit = Circuit(src, dest, tuple(hops))
+        self.circuits.append(circuit)
+        return circuit
+
+    def teardown(self, circuit: Circuit) -> None:
+        """Release every crossbar connection of a circuit."""
+        for router, _inp, (out_port, out_lane) in circuit.hops:
+            self.network.states[router].disconnect(out_port, out_lane)
+        self.circuits.remove(circuit)
+
+    # -- lane allocation ------------------------------------------------------
+    def _free_output_lane(self, router: int, out_port: int) -> int:
+        state = self.network.states[router]
+        for lane in range(self.network.cfg.n_lanes):
+            if state.is_free(out_port, lane):
+                return lane
+        raise SetupError(
+            f"router {router}: no free lane on output port {Port(out_port).name}"
+        )
+
+    def _free_input_lane(self, src: int) -> int:
+        """A local input lane not yet feeding any circuit at the source."""
+        cfg = self.network.cfg
+        state = self.network.states[src]
+        used = {
+            state.source[ch] - cfg.channel(Port.LOCAL, 0)
+            for ch in range(cfg.n_channels)
+            if state.source[ch] >= 0
+            and cfg.channel(Port.LOCAL, 0)
+            <= state.source[ch]
+            < cfg.channel(Port.LOCAL, 0) + cfg.n_lanes
+        }
+        for lane in range(cfg.n_lanes):
+            if lane not in used:
+                return lane
+        raise SetupError(f"router {src}: all local injection lanes in use")
+
+    # -- convenience streaming over a circuit -----------------------------------
+    def send(self, circuit: Circuit, words: List[int]) -> None:
+        """Queue words for back-to-back injection on the circuit's entry
+        lane (one per subsequent cycle, driven by :meth:`pump`)."""
+        backlog = self._backlogs.setdefault(id(circuit), [])
+        backlog.extend(words)
+
+    def pump(self) -> None:
+        """Inject the next queued word of every circuit (call once per
+        cycle before :meth:`CircuitNetwork.step`)."""
+        if self._backlogs:
+            for circuit in self.circuits:
+                backlog = self._backlogs.get(id(circuit))
+                if backlog:
+                    self.network.inject(circuit.src, circuit.entry_lane, backlog.pop(0))
+
+    def received(self, circuit: Circuit) -> List[int]:
+        """Words ejected so far at the circuit's destination lane."""
+        return [
+            e.word
+            for e in self.network.ejections
+            if e.router == circuit.dest and e.lane == circuit.exit_lane
+        ]

@@ -1,0 +1,205 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info``        — package overview and engine registry
+* ``layout``      — the Table-1 register budget for a router config
+* ``resources``   — the Table-2 FPGA resource report
+* ``simulate``    — run a workload on any engine and print statistics
+* ``trace``       — run the RTL engine and dump a VCD waveform
+* ``experiments`` — regenerate the paper's tables and figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import List, Optional
+
+from repro.noc import NetworkConfig, RouterConfig
+
+
+def _network_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--width", type=int, default=6)
+    parser.add_argument("--height", type=int, default=6)
+    parser.add_argument("--topology", choices=["torus", "mesh"], default="torus")
+    parser.add_argument("--queue-depth", type=int, default=4)
+
+
+def _network_from(args) -> NetworkConfig:
+    return NetworkConfig(
+        args.width,
+        args.height,
+        topology=args.topology,
+        router=RouterConfig(queue_depth=args.queue_depth),
+    )
+
+
+def cmd_info(args) -> int:
+    from repro.engines import list_engines
+
+    print(__doc__.split("\n\n")[0])
+    print("\nReproduction of: Wolkotte et al., 'Using an FPGA for Fast Bit")
+    print("Accurate SoC Simulation', IPDPS 2007.\n")
+    print("Engines:")
+    for engine in list_engines():
+        print(f"  {engine.name:<12} {engine.description}")
+        print(f"  {'':<12} paper analogue: {engine.paper_analogue}")
+    print("\nSee DESIGN.md / EXPERIMENTS.md for the full reproduction map.")
+    return 0
+
+
+def cmd_layout(args) -> int:
+    from repro.noc.layout import state_word_layout, table1
+
+    cfg = RouterConfig(queue_depth=args.queue_depth)
+    rows = table1(cfg)
+    width = max(len(k) for k in rows)
+    for key, bits in rows.items():
+        print(f"{key:<{width}}  {bits:>6} bits")
+    if args.fields:
+        print()
+        print(state_word_layout(cfg).describe())
+    return 0
+
+
+def cmd_resources(args) -> int:
+    from repro.fpga.resources import direct_instantiation_limit, simulator_resources
+
+    net = _network_from(args)
+    report = simulator_resources(net)
+    print(report.render())
+    est = direct_instantiation_limit(data_width=6)
+    print(
+        f"\nDirect instantiation (6-bit datapath): {est.max_routers} routers "
+        f"fit; the sequential simulator handles {NetworkConfig.MAX_ROUTERS}."
+    )
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from repro.engines import make_engine
+    from repro.stats import PacketLatencyTracker, ThroughputStats
+    from repro.traffic import BernoulliBeTraffic, TrafficDriver, uniform_random
+
+    net = _network_from(args)
+    engine = make_engine(args.engine, net)
+    be = BernoulliBeTraffic(net, args.load, uniform_random(net), seed=args.seed)
+    driver = TrafficDriver(engine, be=be)
+    tracker = PacketLatencyTracker(net)
+    driver.attach_tracker(tracker)
+    start = time.perf_counter()
+    driver.run(args.cycles)
+    driver.be = None
+    driver.drain()
+    elapsed = time.perf_counter() - start
+    tracker.collect(engine)
+    throughput = ThroughputStats.from_engine(engine)
+    stats = tracker.stats()
+    print(
+        f"{args.engine} engine: {engine.cycle} cycles in {elapsed:.2f} s "
+        f"({engine.cycle / elapsed:,.0f} simulated cycles/s)"
+    )
+    print(
+        f"traffic: {throughput.flits_injected} flits injected, "
+        f"accepted load {throughput.accepted_load:.3f} flits/cycle/node"
+    )
+    if stats:
+        print(
+            f"latency: mean {stats.mean:.1f}, p99 {stats.p99:.0f}, "
+            f"max {stats.maximum} cycles over {stats.count} packets"
+        )
+    metrics = getattr(engine, "metrics", None)
+    if metrics is not None and metrics.system_cycles:
+        print(
+            f"delta cycles: {metrics.total_deltas} "
+            f"({metrics.mean_deltas_per_cycle():.1f}/cycle, "
+            f"extra fraction {metrics.extra_fraction():.3f})"
+        )
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.engines import RtlEngine
+    from repro.rtl import VcdWriter
+    from repro.traffic import BernoulliBeTraffic, TrafficDriver, uniform_random
+
+    net = _network_from(args)
+    engine = RtlEngine(net)
+    signals = [
+        s
+        for s in engine.sim.signals()
+        if args.filter in s.name
+    ]
+    if not signals:
+        print(f"no signals match filter {args.filter!r}")
+        return 1
+    be = BernoulliBeTraffic(net, args.load, uniform_random(net), seed=args.seed)
+    driver = TrafficDriver(engine, be=be)
+    with open(args.out, "w") as stream:
+        writer = VcdWriter(engine.sim, stream, signals=signals)
+        writer.start()
+        driver.run(args.cycles)
+        writer.close()
+    print(
+        f"wrote {args.out}: {len(signals)} signals over {args.cycles} cycles "
+        f"({engine.kernel_stats.delta_cycles} kernel delta cycles)"
+    )
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.experiments.__main__ import main as run_experiments
+
+    return run_experiments(["repro"] + (args.names or []))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Wolkotte et al. (IPDPS 2007) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package overview").set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("layout", help="Table-1 register budget")
+    p.add_argument("--queue-depth", type=int, default=4)
+    p.add_argument("--fields", action="store_true", help="dump every field offset")
+    p.set_defaults(fn=cmd_layout)
+
+    p = sub.add_parser("resources", help="Table-2 FPGA resource report")
+    _network_args(p)
+    p.set_defaults(fn=cmd_resources)
+
+    p = sub.add_parser("simulate", help="run a workload on an engine")
+    _network_args(p)
+    p.add_argument("--engine", choices=["rtl", "cycle", "sequential"], default="sequential")
+    p.add_argument("--load", type=float, default=0.08)
+    p.add_argument("--cycles", type=int, default=500)
+    p.add_argument("--seed", type=int, default=0xC11)
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("trace", help="dump a VCD waveform from the RTL engine")
+    _network_args(p)
+    p.set_defaults(width=2, height=2)
+    p.add_argument("--out", default="noc.vcd")
+    p.add_argument("--filter", default="r0.", help="substring filter on signal names")
+    p.add_argument("--load", type=float, default=0.1)
+    p.add_argument("--cycles", type=int, default=50)
+    p.add_argument("--seed", type=int, default=0xC11)
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("experiments", help="regenerate tables/figures")
+    p.add_argument("names", nargs="*", help="fig1 table1 table2 table3 table4 deltas fig5")
+    p.set_defaults(fn=cmd_experiments)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

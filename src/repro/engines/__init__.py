@@ -1,0 +1,30 @@
+"""Unified simulation-engine facade.
+
+Three engines simulate the identical NoC bit- and cycle-accurately,
+mirroring the paper's section 3 comparison:
+
+* :class:`RtlEngine` — event-driven, signal-level ("VHDL", Table 3 row 1)
+* :class:`CycleEngine` — cycle-based golden model ("SystemC", row 2)
+* :class:`SequentialEngine` — the FPGA sequential simulator (rows 3-4)
+
+All engines expose the same interface (offer/step/run/snapshot plus the
+injection/ejection logs), so the equivalence checker and the benchmark
+harness treat them interchangeably.
+"""
+
+from repro.engines.base import EngineInfo, list_engines, make_engine
+from repro.engines.cycle import CycleEngine
+from repro.engines.rtl import RtlEngine
+from repro.engines.sequential import SequentialEngine
+from repro.engines.equivalence import EquivalenceReport, run_lockstep
+
+__all__ = [
+    "CycleEngine",
+    "EngineInfo",
+    "EquivalenceReport",
+    "RtlEngine",
+    "SequentialEngine",
+    "list_engines",
+    "make_engine",
+    "run_lockstep",
+]

@@ -1,0 +1,85 @@
+"""Common engine interface and registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Protocol, Tuple
+
+from repro.noc.config import NetworkConfig
+from repro.noc.network import EjectionRecord, InjectionRecord
+
+
+class Engine(Protocol):
+    """What every simulation engine provides.
+
+    ``Network`` itself satisfies this protocol; the RTL engine implements
+    it over the event-driven kernel.
+    """
+
+    cfg: NetworkConfig
+    cycle: int
+    injections: List[InjectionRecord]
+    ejections: List[EjectionRecord]
+
+    def offer(self, router: int, vc: int, flit) -> bool: ...
+
+    def injection_pending(self, router: int, vc: int) -> bool: ...
+
+    def step(self) -> None: ...
+
+    def run(self, cycles: int) -> None: ...
+
+    def snapshot(self) -> Tuple: ...
+
+    def drained(self) -> bool: ...
+
+
+@dataclass(frozen=True)
+class EngineInfo:
+    """Registry entry describing one engine."""
+
+    name: str
+    description: str
+    paper_analogue: str
+    factory: Callable[..., "Engine"]
+
+
+def _registry() -> Dict[str, EngineInfo]:
+    # Imported lazily to avoid import cycles.
+    from repro.engines.cycle import CycleEngine
+    from repro.engines.rtl import RtlEngine
+    from repro.engines.sequential import SequentialEngine
+
+    return {
+        "rtl": EngineInfo(
+            "rtl",
+            "event-driven signal-level simulation on the delta-cycle kernel",
+            "VHDL / ModelSim (Table 3: 10-17 Hz)",
+            RtlEngine,
+        ),
+        "cycle": EngineInfo(
+            "cycle",
+            "cycle-based three-phase golden model",
+            "SystemC (Table 3: 215 Hz)",
+            CycleEngine,
+        ),
+        "sequential": EngineInfo(
+            "sequential",
+            "FPGA-style sequential simulation with HBR dynamic scheduling",
+            "FPGA simulator (Table 3: 22-61.6 kHz)",
+            SequentialEngine,
+        ),
+    }
+
+
+def list_engines() -> List[EngineInfo]:
+    """All registered engines."""
+    return list(_registry().values())
+
+
+def make_engine(name: str, cfg: NetworkConfig, **kwargs) -> "Engine":
+    """Instantiate an engine by registry name."""
+    registry = _registry()
+    if name not in registry:
+        raise KeyError(f"unknown engine {name!r}; known: {sorted(registry)}")
+    return registry[name].factory(cfg, **kwargs)

@@ -1,0 +1,17 @@
+"""The cycle-based engine ("SystemC" of Table 3).
+
+A cycle-accurate SystemC model of the NoC executes exactly the golden
+three-phase semantics (evaluate Moore outputs, settle the Mealy wires,
+update), so the golden :class:`repro.noc.Network` *is* this engine; the
+subclass only adds the engine identity.
+"""
+
+from __future__ import annotations
+
+from repro.noc.network import Network
+
+
+class CycleEngine(Network):
+    """Cycle-based two-phase (evaluate/update) simulation."""
+
+    name = "cycle"

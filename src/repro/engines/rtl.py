@@ -1,0 +1,263 @@
+"""The event-driven RTL engine ("VHDL" of Table 3).
+
+Assembles the structural routers of :mod:`repro.noc.rtl_router` into a
+network on the delta-cycle kernel, together with signal-level stimuli
+interfaces, and exposes the common engine API.
+
+One system cycle is driven as two kernel time steps: a falling edge
+during which testbench inputs (injection registers) and all
+combinational logic settle, then a rising edge at which every register
+captures — standard VHDL testbench practice.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.noc.config import NetworkConfig, Port
+from repro.noc.flit import FlitType
+from repro.noc.network import EjectionRecord, InjectionRecord, StimuliState
+from repro.noc.routing import RoutingTable
+from repro.noc.rtl_router import RtlRouter
+from repro.noc.topology import Topology
+from repro.rtl.module import Module
+from repro.rtl.primitives import round_robin_grant
+from repro.rtl.signal import Signal
+from repro.rtl.simulator import Simulator
+
+
+class RtlStimuliInterface(Module):
+    """Signal-level stimuli interface (injection + ejection capture)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        clk: Signal,
+        cfg,
+        router: RtlRouter,
+        engine: "RtlEngine",
+        index: int,
+        parent: Optional[Module] = None,
+    ) -> None:
+        super().__init__(sim, name, parent)
+        self.cfg = cfg
+        self.engine = engine
+        self.index = index
+        nv = cfg.n_vcs
+        self.inj_word = [self.signal(f"inj_word{vc}", cfg.flit_width) for vc in range(nv)]
+        self.inj_valid = self.signal("inj_valid", nv)
+        self.rr_ptr = self.signal("rr_ptr", cfg.vc_bits, reset=nv - 1)
+        self.delay = [self.signal(f"delay{vc}", 20) for vc in range(nv)]
+        self.eject_word = self.signal("eject_word", cfg.link_width)
+        self.eject_valid = self.signal("eject_valid", 1)
+        self.stalled = self.signal("stalled", 1)
+        # Testbench-side mirror of inj_valid: signal assignments only
+        # commit at the next delta, so consecutive offers between cycles
+        # must accumulate here instead of reading back the signal.
+        self.valid_shadow = 0
+        # choice: selected VC this cycle (nv = none), and the word driven
+        # onto the router's local input port.
+        self.choice = self.signal("choice", cfg.vc_bits + 1, reset=nv)
+        self.local_word = router.fwd_in[Port.LOCAL]
+        self.room = router.room_out[Port.LOCAL]
+        self.eject_src = router.fwd_out[Port.LOCAL]
+
+        def comb() -> None:
+            req = 0
+            valid = self.inj_valid.uint
+            room = self.room.uint
+            for vc in range(nv):
+                if (valid >> vc) & 1 and (room >> vc) & 1:
+                    req |= 1 << vc
+            if req == 0:
+                self.choice.assign(nv)
+                self.local_word.assign(0)
+            else:
+                vc = round_robin_grant(req, nv, self.rr_ptr.uint)
+                self.choice.assign(vc)
+                word = (vc << (cfg.data_width + 2)) | self.inj_word[vc].uint
+                self.local_word.assign(word)
+
+        self.process(
+            "inj_comb",
+            comb,
+            sensitivity=[self.inj_valid, self.rr_ptr, self.room] + self.inj_word,
+        )
+
+        state = {"prev": clk.uint}
+
+        def edge() -> None:
+            rising = state["prev"] == 0 and clk.uint == 1
+            state["prev"] = clk.uint
+            if not rising:
+                return
+            chosen = self.choice.uint
+            valid = self.inj_valid.uint
+            for vc in range(nv):
+                if (valid >> vc) & 1:
+                    if vc == chosen:
+                        self.valid_shadow = valid & ~(1 << vc)
+                        self.inj_valid.assign(self.valid_shadow)
+                        self.rr_ptr.assign(vc)
+                        engine.injections.append(
+                            InjectionRecord(
+                                engine.cycle,
+                                index,
+                                vc,
+                                self.inj_word[vc].uint,
+                                self.delay[vc].uint,
+                            )
+                        )
+                        self.delay[vc].assign(0)
+                    else:
+                        self.delay[vc].assign((self.delay[vc].uint + 1) & 0xFFFFF)
+            eject = self.eject_src.uint
+            if (eject >> cfg.data_width) & 3 != FlitType.IDLE:
+                self.eject_word.assign(eject)
+                self.eject_valid.assign(1)
+                engine.ejections.append(
+                    EjectionRecord(
+                        engine.cycle,
+                        index,
+                        eject >> (cfg.data_width + 2),
+                        eject & ((1 << (cfg.data_width + 2)) - 1),
+                    )
+                )
+            else:
+                self.eject_valid.assign(0)
+
+        self.process("inj_edge", edge, sensitivity=[clk])
+
+    def architectural_state(self) -> StimuliState:
+        cfg = self.cfg
+        state = StimuliState(cfg.n_vcs)
+        state.inj_word = [s.uint for s in self.inj_word]
+        valid = self.inj_valid.uint
+        state.inj_valid = [(valid >> vc) & 1 for vc in range(cfg.n_vcs)]
+        state.rr_ptr = self.rr_ptr.uint
+        state.delay = [s.uint for s in self.delay]
+        state.eject_word = self.eject_word.uint
+        state.eject_valid = self.eject_valid.uint
+        state.stalled = self.stalled.uint
+        return state
+
+
+class RtlEngine:
+    """Network of structural routers on the event-driven kernel."""
+
+    name = "rtl"
+
+    def __init__(self, cfg: NetworkConfig, routing: Optional[RoutingTable] = None) -> None:
+        self.cfg = cfg
+        self.routing = routing if routing is not None else RoutingTable(cfg)
+        self.topology = Topology(cfg)
+        self.cycle = 0
+        self.injections: List[InjectionRecord] = []
+        self.ejections: List[EjectionRecord] = []
+        self.sim = Simulator(max_deltas_per_step=100_000)
+        self.top = Module(self.sim, "noc")
+        # The clock resets high so every system cycle is a falling edge
+        # (testbench inputs and combinational logic settle) followed by a
+        # rising edge (registers capture).
+        self.clk = self.sim.signal("clk", 1, reset=1)
+        self.sim.every_step("clkgen", lambda: self.clk.assign(self.clk.uint ^ 1))
+        rc = cfg.router
+        n = cfg.n_routers
+        from repro.noc.deadlock import make_policy
+
+        self.routers: List[RtlRouter] = []
+        for r in range(n):
+            table_row = self.routing.table[r]
+            self.routers.append(
+                RtlRouter(
+                    self.sim,
+                    f"r{r}",
+                    self.clk,
+                    cfg.router_at(r),
+                    route=table_row.__getitem__,
+                    dest_index=lambda h: cfg.index(h.dest_x, h.dest_y),
+                    parent=self.top,
+                    be_candidates=make_policy(cfg, r),
+                )
+            )
+        self.ifaces = [
+            RtlStimuliInterface(
+                self.sim, f"tg{r}", self.clk, rc, self.routers[r], self, r, parent=self.top
+            )
+            for r in range(n)
+        ]
+        self._wire_network()
+        self.sim.initialize()
+
+    def _wire_network(self) -> None:
+        """Connect neighbouring routers with copy processes.
+
+        Distinct Signal objects are kept per port (like VHDL port maps);
+        a tiny combinational process forwards each driver to its reader.
+        """
+        rc = self.cfg.router
+        sink = (1 << rc.n_vcs) - 1
+        for r, router in enumerate(self.routers):
+            router.room_in[Port.LOCAL].assign(sink)
+            for p in range(1, rc.n_ports):
+                nb = self.topology.neighbor(r, Port(p))
+                if nb is None:
+                    continue  # mesh edge: fwd_in stays idle, room_in stays 0
+                opposite = int(Port(p).opposite)
+                self._connect(self.routers[nb].fwd_out[opposite], router.fwd_in[p])
+                self._connect(self.routers[nb].room_out[opposite], router.room_in[p])
+
+    def _connect(self, src: Signal, dst: Signal) -> None:
+        def copy() -> None:
+            dst.assign(src.value)
+
+        self.sim.process(f"wire:{src.name}->{dst.name}", copy, sensitivity=[src])
+
+    # -- engine API --------------------------------------------------------
+    def offer(self, router: int, vc: int, flit) -> bool:
+        iface = self.ifaces[router]
+        if (iface.valid_shadow >> vc) & 1:
+            iface.stalled.assign(1)
+            return False
+        word = flit if isinstance(flit, int) else flit.encode(self.cfg.router.data_width)
+        iface.inj_word[vc].assign(word)
+        iface.valid_shadow |= 1 << vc
+        iface.inj_valid.assign(iface.valid_shadow)
+        iface.delay[vc].assign(0)
+        iface.stalled.assign(0)
+        return True
+
+    def injection_pending(self, router: int, vc: int) -> bool:
+        return bool((self.ifaces[router].valid_shadow >> vc) & 1)
+
+    def step(self) -> None:
+        """One system cycle: falling edge (inputs/comb settle), rising edge."""
+        self.sim.step()  # falling edge: testbench inputs settle
+        self.sim.step()  # rising edge: registers capture
+        self.cycle += 1
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.step()
+
+    def snapshot(self) -> Tuple:
+        return (
+            tuple(r.architectural_state().state_tuple() for r in self.routers),
+            tuple(i.architectural_state().state_tuple() for i in self.ifaces),
+        )
+
+    def total_buffered(self) -> int:
+        return sum(
+            fifo._occupancy for router in self.routers for fifo in router.queues
+        )
+
+    def drained(self) -> bool:
+        return self.total_buffered() == 0 and all(
+            iface.valid_shadow == 0 for iface in self.ifaces
+        )
+
+    @property
+    def kernel_stats(self):
+        """Event-kernel counters: the cost measure behind Table 3 row 1."""
+        return self.sim.stats

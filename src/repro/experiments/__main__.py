@@ -1,0 +1,26 @@
+"""CLI: ``python -m repro.experiments [name ...]`` — regenerate the
+paper's tables and figures.  With no arguments, run everything."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import ALL
+
+
+def main(argv) -> int:
+    names = argv[1:] if len(argv) > 1 else list(ALL)
+    unknown = [n for n in names if n not in ALL]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; known: {sorted(ALL)}")
+        return 2
+    for i, name in enumerate(names):
+        if i:
+            print("\n" + "=" * 72 + "\n")
+        print(f">>> {name}\n")
+        ALL[name].main()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

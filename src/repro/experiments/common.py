@@ -1,0 +1,142 @@
+"""Shared experiment infrastructure."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.engines import SequentialEngine
+from repro.noc import NetworkConfig, RouterConfig
+from repro.noc.packet import GT_PAYLOAD_BYTES, PacketClass
+from repro.stats import PacketLatencyTracker, gt_guarantee_bound
+from repro.traffic import BernoulliBeTraffic, GtStreamTraffic, TrafficDriver, uniform_random
+from repro.noc.reservation import GtReservationTable
+from repro.traffic.generators import neighbor_shift
+
+
+def scale(default: int, env: str = "REPRO_SCALE") -> int:
+    """Cycle budgets scale with the REPRO_SCALE env var (default 1.0).
+
+    ``REPRO_SCALE=4`` runs experiments four times longer for tighter
+    statistics; CI keeps the cheap default.
+    """
+    factor = float(os.environ.get(env, "1"))
+    return max(1, int(default * factor))
+
+
+def fig1_network() -> NetworkConfig:
+    """Figure 1's configuration: 6x6 torus, queue size 2 flits."""
+    return NetworkConfig(6, 6, topology="torus", router=RouterConfig(queue_depth=2))
+
+
+def fig1_gt_streams(net: NetworkConfig) -> GtReservationTable:
+    """One GT stream per node to the node two columns east.
+
+    Every east link then carries exactly two GT streams, which the
+    greedy reservation colours onto VCs 0 and 1 — a fully loaded but
+    feasible GT configuration, matching the paper's premise of one
+    stream per VC per link.
+    """
+    table = GtReservationTable(net)
+    pattern = neighbor_shift(net, dx=2)
+    for src in range(net.n_routers):
+        dest = pattern(src, None)
+        if dest != src:
+            table.reserve(src, dest)
+    return table
+
+
+@dataclass
+class WorkloadResult:
+    """Latency measurements of one (GT + BE) workload run."""
+
+    be_load: float
+    gt_period: int
+    cycles: int
+    gt_mean: Optional[float]
+    gt_max: Optional[int]
+    be_mean: Optional[float]
+    be_max: Optional[int]
+    guarantee: int
+    gt_packets: int
+    be_packets: int
+    extra_delta_fraction: Optional[float] = None
+    accepted_be_load: Optional[float] = None
+
+
+def run_fig1_workload(
+    be_load: float,
+    cycles: int,
+    gt_period: int = 1300,
+    seed: int = 0x5EED,
+    engine_cls=SequentialEngine,
+    warmup: Optional[int] = None,
+) -> WorkloadResult:
+    """One Figure 1 data point: fixed GT traffic plus swept BE load.
+
+    Latency statistics exclude packets submitted during the warm-up
+    phase (default: one GT period) so the pipeline is in steady state.
+    """
+    net = fig1_network()
+    engine = engine_cls(net)
+    gt_table = fig1_gt_streams(net)
+    gt = GtStreamTraffic(net, gt_table.streams, period=gt_period)
+    be = BernoulliBeTraffic(net, be_load, uniform_random(net), seed=seed)
+    driver = TrafficDriver(engine, be=be, gt=gt)
+    tracker = PacketLatencyTracker(net)
+    driver.attach_tracker(tracker)
+    warmup = gt_period if warmup is None else warmup
+
+    driver.run(warmup + cycles)
+    driver.be = None
+    driver.gt = None
+    driver.drain()
+    tracker.collect(engine)
+
+    def stats_for(pclass):
+        values = [
+            s.total_latency
+            for s in tracker.samples
+            if s.pclass is pclass and s.submit_cycle >= warmup
+        ]
+        if not values:
+            return None, None, 0
+        return sum(values) / len(values), max(values), len(values)
+
+    gt_mean, gt_max, gt_n = stats_for(PacketClass.GT)
+    be_mean, be_max, be_n = stats_for(PacketClass.BE)
+    max_hops = max(
+        (s.hops for s in tracker.samples if s.pclass is PacketClass.GT), default=2
+    )
+    metrics = getattr(engine, "metrics", None)
+    return WorkloadResult(
+        be_load=be_load,
+        gt_period=gt_period,
+        cycles=cycles,
+        gt_mean=gt_mean,
+        gt_max=gt_max,
+        be_mean=be_mean,
+        be_max=be_max,
+        guarantee=gt_guarantee_bound(net.router, GT_PAYLOAD_BYTES, max_hops),
+        gt_packets=gt_n,
+        be_packets=be_n,
+        extra_delta_fraction=metrics.extra_fraction() if metrics else None,
+        accepted_be_load=len(engine.injections) / (engine.cycle * net.n_routers),
+    )
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Fixed-width text table for experiment reports."""
+    cells = [[str(h) for h in headers]] + [
+        [f"{v:.1f}" if isinstance(v, float) else str(v) for v in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

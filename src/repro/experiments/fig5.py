@@ -1,0 +1,117 @@
+"""Figures 3 and 5: schedule traces of the generic block framework.
+
+These are didactic artifacts rather than measurements: we regenerate the
+schedule tables the paper draws — the static schedule of a 3-block
+registered ring (Fig. 3) and the dynamic HBR schedule of a 3-block
+system with combinatorial boundaries (Fig. 5) — and verify their
+defining properties (fixed 3 deltas/cycle vs. load-dependent
+re-evaluations)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.experiments.common import render_table
+from repro.seqsim.blocks import (
+    CombBlock,
+    DynamicBlockSimulator,
+    RegisteredBlock,
+    StaticBlockSimulator,
+)
+
+
+def build_fig3() -> StaticBlockSimulator:
+    """Three registered circuits in a ring (paper Fig. 2/3)."""
+
+    blocks = [
+        RegisteredBlock("F1", (("r", 8),), lambda i: {"r": (i["x"] + 1) & 0xFF},
+                        reset=(("r", 1),)),
+        RegisteredBlock("F2", (("r", 8),), lambda i: {"r": (i["x"] * 2) & 0xFF}),
+        RegisteredBlock("F3", (("r", 8),), lambda i: {"r": (i["x"] ^ 0x5A) & 0xFF}),
+    ]
+    sim = StaticBlockSimulator(blocks)
+    sim.connect("F3", "r", "F1", "x")
+    sim.connect("F1", "r", "F2", "x")
+    sim.connect("F2", "r", "F3", "x")
+    return sim
+
+
+def build_fig5() -> DynamicBlockSimulator:
+    """Three routers in a pipeline with combinatorial boundaries: each
+    block's output is a function of its input (Fig. 4), evaluated under
+    the dynamic HBR schedule.  Block b2 feeds b0 back through a register
+    so the system is cyclic like the paper's ring."""
+
+    def head(state, inputs):
+        # output = register; register latches the (combinational) feedback.
+        return {"out": state}, inputs["fb"]
+
+    def comb(state, inputs):
+        value = (inputs["in"] + 1) & 0xFF
+        return {"out": value}, value
+
+    blocks = [
+        CombBlock("r0", 8, (("fb", 8),), (("out", 8),), head, reset=7),
+        CombBlock("r1", 8, (("in", 8),), (("out", 8),), comb),
+        CombBlock("r2", 8, (("in", 8),), (("out", 8),), comb),
+    ]
+    sim = DynamicBlockSimulator(blocks)
+    sim.connect("r0", "out", "r1", "in")
+    sim.connect("r1", "out", "r2", "in")
+    sim.connect("r2", "out", "r0", "fb")
+    return sim
+
+
+@dataclass
+class ScheduleResult:
+    static_deltas: List[int]
+    dynamic_deltas: List[int]
+    dynamic_trace: List[Tuple[int, int, int]]  # (cycle, delta, block)
+
+    def render(self) -> str:
+        rows = []
+        cycles = max(len(self.static_deltas), len(self.dynamic_deltas))
+        for t in range(cycles):
+            evals = [b for c, _d, b in self.dynamic_trace if c == t]
+            rows.append(
+                (
+                    t,
+                    self.static_deltas[t] if t < len(self.static_deltas) else "-",
+                    self.dynamic_deltas[t] if t < len(self.dynamic_deltas) else "-",
+                    " ".join(f"F{b+1}" for b in evals),
+                )
+            )
+        return render_table(
+            ["system cycle", "Fig.3 deltas", "Fig.5 deltas", "dynamic evaluation order"],
+            rows,
+            title="Figures 3/5 — static vs dynamic schedules (3-block systems)",
+        )
+
+
+def run(cycles: int = 3) -> ScheduleResult:
+    static = build_fig3()
+    static.run(cycles)
+    dynamic = build_fig5()
+    dynamic.run(cycles)
+    return ScheduleResult(
+        static_deltas=list(static.metrics.per_cycle),
+        dynamic_deltas=list(dynamic.metrics.per_cycle),
+        dynamic_trace=list(dynamic.trace),
+    )
+
+
+def main() -> ScheduleResult:
+    result = run()
+    print(result.render())
+    print(
+        "\nStatic schedule: exactly one evaluation per block per cycle "
+        "(3 deltas).\nDynamic schedule: at least one evaluation per block; "
+        "re-evaluations appear when a link is read before its writer "
+        "updates it (underlined values in the paper's Fig. 5)."
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Table 1: required registers per router."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.common import render_table
+from repro.noc.config import RouterConfig
+from repro.noc.layout import state_word_layout, table1
+
+#: the published rows.
+PAPER = {
+    "Input queues": 1440,
+    "Router control and arbitration": 292,
+    "Links": 200,
+    "Stimuli interfaces": 180,
+    "Total": 2112,
+}
+
+
+@dataclass
+class Table1Result:
+    derived: Dict[str, int]
+    paper: Dict[str, int]
+
+    def rows(self) -> List[Tuple[str, int, int, str]]:
+        out = []
+        for key, want in self.paper.items():
+            got = self.derived[key]
+            out.append((key, got, want, "ok" if got == want else "MISMATCH"))
+        return out
+
+    def exact(self) -> bool:
+        return all(self.derived[k] == v for k, v in self.paper.items())
+
+    def render(self) -> str:
+        return render_table(
+            ["State", "derived [bits]", "paper [bits]", ""],
+            self.rows(),
+            title="Table 1 — required registers per router",
+        )
+
+
+def run(cfg: RouterConfig = None) -> Table1Result:
+    cfg = cfg or RouterConfig()
+    return Table1Result(derived=table1(cfg), paper=PAPER)
+
+
+def main() -> Table1Result:
+    result = run()
+    print(result.render())
+    print()
+    print("Field breakdown of the packed state word:")
+    print(state_word_layout(RouterConfig()).describe())
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Table 2: FPGA resource usage of the simulator (256 routers), plus the
+section-4 direct-instantiation limit."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.experiments.common import render_table
+from repro.fpga.resources import (
+    DirectInstantiationEstimate,
+    ResourceReport,
+    direct_instantiation_limit,
+    simulator_resources,
+)
+from repro.noc.config import NetworkConfig
+
+#: the published rows: (block, slices, bram).
+PAPER = [
+    ("Router", 1762, 61),
+    ("Stimuli interface", 540, 62),
+    ("Network", 2103, 16),
+    ("Random number generator", 2021, 0),
+    ("Global control", 627, 0),
+]
+PAPER_TOTAL = ("Total", 7053, 139)
+PAPER_UTILISATION = (15, 82)  # percent of slices / BRAMs
+PAPER_DIRECT_LIMIT = 24  # "approximately 24 routers", 6-bit datapath
+
+
+@dataclass
+class Table2Result:
+    report: ResourceReport
+    direct: DirectInstantiationEstimate
+
+    def rows(self) -> List[Tuple]:
+        out = []
+        for (name, slices, bram), (pname, pslices, pbram) in zip(
+            self.report.rows(), PAPER
+        ):
+            assert name == pname
+            out.append((name, slices, pslices, bram, pbram))
+        out.append(
+            (
+                "Total",
+                self.report.total_slices,
+                PAPER_TOTAL[1],
+                self.report.total_bram,
+                PAPER_TOTAL[2],
+            )
+        )
+        return out
+
+    def exact(self) -> bool:
+        return (
+            self.report.total_slices == PAPER_TOTAL[1]
+            and self.report.total_bram == PAPER_TOTAL[2]
+            and all(r[1] == r[2] and r[3] == r[4] for r in self.rows())
+        )
+
+    def render(self) -> str:
+        table = render_table(
+            ["Block", "CLB", "CLB (paper)", "RAM", "RAM (paper)"],
+            self.rows(),
+            title="Table 2 — FPGA resource usage, 256-router simulator",
+        )
+        direct = (
+            f"\nSection 4 direct instantiation (6-bit datapath): "
+            f"{self.direct.max_routers} routers "
+            f"(slices allow {self.direct.limit_by_slices}, "
+            f"tri-states allow {self.direct.limit_by_tbufs}; paper: ~{PAPER_DIRECT_LIMIT})"
+        )
+        return table + direct
+
+
+def run() -> Table2Result:
+    return Table2Result(
+        report=simulator_resources(NetworkConfig(16, 16)),
+        direct=direct_instantiation_limit(data_width=6),
+    )
+
+
+def main() -> Table2Result:
+    result = run()
+    print(result.render())
+    return result
+
+
+if __name__ == "__main__":
+    main()

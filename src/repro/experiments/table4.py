@@ -1,0 +1,104 @@
+"""Table 4: share of wall time per simulation step.
+
+The paper gives ranges "because it depends on the type of simulations
+performed"; we reproduce both ends by running the five-phase controller
+on a light workload with simple analysis and on a heavier workload with
+complex (per-flit latency) analysis, then report the envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.engines import SequentialEngine
+from repro.experiments.common import render_table, scale
+from repro.fpga.timing import PAPER_TABLE4
+from repro.platform import SimulationController
+from repro.stats import PacketLatencyTracker
+from repro.traffic import BernoulliBeTraffic, uniform_random
+
+PHASE_LABELS = {
+    "generate": "Generate stimuli (ARM)",
+    "load": "Load stimuli (ARM / FPGA)",
+    "simulate": "Simulation (FPGA)",
+    "retrieve": "Retrieve results (ARM / FPGA)",
+    "analyze": "Analyze results (ARM)",
+}
+
+
+@dataclass
+class Table4Result:
+    profiles: Dict[str, Dict[str, float]]  # scenario -> phase -> percent
+
+    def envelope(self) -> Dict[str, Tuple[float, float]]:
+        out = {}
+        for phase in PHASE_LABELS:
+            values = [p[phase] for p in self.profiles.values()]
+            out[phase] = (min(values), max(values))
+        return out
+
+    def rows(self) -> List[Tuple]:
+        env = self.envelope()
+        rows = []
+        for phase, label in PHASE_LABELS.items():
+            lo, hi = env[phase]
+            plo, phi = PAPER_TABLE4[phase]
+            rows.append(
+                (label, f"{lo:.0f}-{hi:.0f} %", f"{plo:.0f}-{phi:.0f} %")
+            )
+        return rows
+
+    def within_paper_ranges(self, slack: float = 6.0) -> bool:
+        env = self.envelope()
+        return all(
+            plo - slack <= env[phase][0] and env[phase][1] <= phi + slack
+            for phase, (plo, phi) in PAPER_TABLE4.items()
+        )
+
+    def render(self) -> str:
+        return render_table(
+            ["Simulation step", "measured", "paper"],
+            self.rows(),
+            title="Table 4 — profile information",
+        )
+
+
+def _scenario(load: float, complex_analysis: bool, cycles: int) -> Dict[str, float]:
+    # The default (4-flit-deep) router of the paper's profile runs: the
+    # shallow Fig. 1 queues roughly double the re-evaluation rate, which
+    # pushes the FPGA out from behind the ARM at the lightest loads.
+    from repro.noc import NetworkConfig
+
+    net = NetworkConfig(6, 6, topology="torus")
+    engine = SequentialEngine(net)
+    be = BernoulliBeTraffic(net, load, uniform_random(net), seed=0xCAFE)
+    tracker = PacketLatencyTracker(net) if complex_analysis else None
+    controller = SimulationController(
+        engine, be=be, tracker=tracker, complex_analysis=complex_analysis
+    )
+    report = controller.run(cycles)
+    return report.profile.percentages()
+
+
+def run(cycles: int = None) -> Table4Result:
+    cycles = cycles if cycles is not None else scale(480)
+    return Table4Result(
+        profiles={
+            "light+simple": _scenario(0.05, False, cycles),
+            "moderate+simple": _scenario(0.12, False, cycles),
+            "moderate+complex": _scenario(0.12, True, cycles),
+            "heavy+complex": _scenario(0.16, True, cycles),
+        }
+    )
+
+
+def main() -> Table4Result:
+    result = run()
+    print(result.render())
+    print(f"\nEnvelope within the paper's ranges: {result.within_paper_ranges()}")
+    return result
+
+
+if __name__ == "__main__":
+    main()

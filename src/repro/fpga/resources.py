@@ -1,0 +1,287 @@
+"""FPGA resource estimation — the Table 2 reproduction.
+
+The BlockRAM counts are *derived* from the actual memory shapes of the
+simulator design, using the Virtex-II BRAM aspect ratios (an 18-Kbit
+block configures as 16K x 1 ... 512 x 36).  With the design parameters
+documented below the derivation reproduces the published RAM column
+exactly:
+
+* **Router block (61)** — the double-banked state memory
+  (2 x 256 x 2112 b -> 512 deep x 2112 wide = 59 blocks in 512 x 36
+  mode) plus the two extra log cyclic buffers of section 5.2 (link
+  traffic and access delay; 512 x 32 b each = 2 blocks).
+* **Stimuli block (62)** — per-VC stimuli buffers (256 routers x 4 VCs x
+  24 entries x 36 b = 48 blocks; a 36-bit entry is the 20-bit link word
+  plus a 16-bit timestamp) and per-router output buffers (256 x 28
+  entries x 36 b = 14 blocks).
+* **Network block (16)** — the routing-information table
+  (256 x 256 x 3 b = 12 blocks in 16K x 1 mode), the forward link memory
+  (1024 wires x 21 b incl. HBR = 2), the room link memory (1024 x 5 b
+  = 1) and the topology address-translation table that makes the
+  "addressing function of the link memories" software-configurable
+  (1024 x 8 b = 1).
+* RNG and global control use registers only (0 blocks).
+
+Slice counts cannot be derived from first principles in Python; they are
+*calibrated anchors* (the paper's synthesis results at the default
+configuration) scaled by first-order design-size laws, which is what
+makes the section-4 direct-instantiation experiment reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.fpga.device import VIRTEX2_8000, FpgaDevice
+from repro.noc.config import NetworkConfig, RouterConfig
+
+#: Virtex-II BRAM18 aspect ratios: (depth, width).
+BRAM_CONFIGS: Tuple[Tuple[int, int], ...] = (
+    (16384, 1),
+    (8192, 2),
+    (4096, 4),
+    (2048, 9),
+    (1024, 18),
+    (512, 36),
+)
+
+#: Platform buffer parameters (chosen in DESIGN.md; the Table-2 RAM
+#: derivation and the section 5.3 simulation-period sizing both use them).
+VC_STIMULI_BUFFER_DEPTH = 24  # entries per (router, VC) injection buffer
+OUTPUT_BUFFER_DEPTH = 28  # entries per router output buffer
+BUFFER_ENTRY_BITS = 36  # 20-bit link word + 16-bit timestamp
+LOG_BUFFER_DEPTH = 512  # the two extra log buffers of section 5.2
+LOG_BUFFER_BITS = 32
+
+
+def bram_blocks_for(depth: int, width: int) -> int:
+    """Minimum BRAM18 blocks for a ``depth x width`` memory.
+
+    Tries every aspect ratio; blocks tile in both dimensions (width
+    slicing and depth cascading), which is how the synthesis tools map
+    large memories.
+    """
+    if depth <= 0 or width <= 0:
+        return 0
+    best = None
+    for cfg_depth, cfg_width in BRAM_CONFIGS:
+        blocks = -(-width // cfg_width) * -(-depth // cfg_depth)
+        if best is None or blocks < best:
+            best = blocks
+    return best
+
+
+@dataclass(frozen=True)
+class MemoryShape:
+    """One physical memory in the design."""
+
+    name: str
+    depth: int
+    width: int
+
+    @property
+    def bits(self) -> int:
+        return self.depth * self.width
+
+    @property
+    def bram_blocks(self) -> int:
+        return bram_blocks_for(self.depth, self.width)
+
+
+@dataclass
+class BlockUsage:
+    """Resource usage of one design block (a Table 2 row)."""
+
+    name: str
+    slices: int
+    memories: List[MemoryShape] = field(default_factory=list)
+
+    @property
+    def bram_blocks(self) -> int:
+        return sum(m.bram_blocks for m in self.memories)
+
+
+@dataclass
+class ResourceReport:
+    """The full Table 2, plus utilisation against a device."""
+
+    blocks: List[BlockUsage]
+    device: FpgaDevice
+
+    @property
+    def total_slices(self) -> int:
+        return sum(b.slices for b in self.blocks)
+
+    @property
+    def total_bram(self) -> int:
+        return sum(b.bram_blocks for b in self.blocks)
+
+    def fits(self) -> bool:
+        return (
+            self.total_slices <= self.device.slices
+            and self.total_bram <= self.device.bram_blocks
+        )
+
+    def rows(self) -> List[Tuple[str, int, int]]:
+        """(block, slices, bram) rows in Table 2 order."""
+        return [(b.name, b.slices, b.bram_blocks) for b in self.blocks]
+
+    def render(self) -> str:
+        lines = [f"{'Block':<26} {'CLB':>6} {'RAM':>5}"]
+        for name, slices, bram in self.rows():
+            lines.append(f"{name:<26} {slices:>6} {bram:>5}")
+        slice_pct = int(100 * self.total_slices / self.device.slices)
+        bram_pct = int(100 * self.total_bram / self.device.bram_blocks)
+        lines.append(
+            f"{'Total':<26} {self.total_slices:>6} {self.total_bram:>5}"
+            f"   ({slice_pct}% / {bram_pct}% of {self.device.name})"
+        )
+        return "\n".join(lines)
+
+
+# -- slice anchors: the paper's synthesis results at the default config ------
+
+_ROUTER_SLICES_ANCHOR = 1762
+_STIMULI_SLICES_ANCHOR = 540
+_NETWORK_SLICES_ANCHOR = 2103
+_RNG_SLICES_ANCHOR = 2021
+_CONTROL_SLICES_ANCHOR = 627
+
+_DEFAULT = RouterConfig()
+
+
+def _router_logic_scale(cfg: RouterConfig) -> float:
+    """Router combinational logic grows with the crossbar area
+    (inputs x link width) plus the allocation/arbitration terms
+    (~ n_queues^2 for the rotating scans)."""
+    area = cfg.n_queues * cfg.link_width + 0.5 * cfg.n_queues * cfg.n_queues
+    base = _DEFAULT.n_queues * _DEFAULT.link_width + 0.5 * _DEFAULT.n_queues**2
+    return area / base
+
+
+def simulator_resources(
+    net: NetworkConfig,
+    device: FpgaDevice = VIRTEX2_8000,
+    max_routers: Optional[int] = None,
+) -> ResourceReport:
+    """Resource usage of the sequential simulator for ``net``.
+
+    ``max_routers`` sizes the memories (Table 2 uses the maximum network
+    of 256 routers even when a smaller network is simulated — memory
+    depth is provisioned, not per-run).
+    """
+    rc = net.router
+    n = max_routers if max_routers is not None else NetworkConfig.MAX_ROUTERS
+    from repro.noc.layout import state_word_layout
+
+    # The state word is the full Table-1 word (2112 b by default): the
+    # sampled link values are latched into the word at evaluation time,
+    # alongside the live copies in the network block's link memory.
+    word_bits = state_word_layout(rc).total_width
+
+    router_block = BlockUsage(
+        "Router",
+        slices=round(_ROUTER_SLICES_ANCHOR * _router_logic_scale(rc)),
+        memories=[
+            MemoryShape("state (2 banks)", depth=2 * n, width=word_bits),
+            MemoryShape("link traffic log", LOG_BUFFER_DEPTH, LOG_BUFFER_BITS),
+            MemoryShape("access delay log", LOG_BUFFER_DEPTH, LOG_BUFFER_BITS),
+        ],
+    )
+    stimuli_block = BlockUsage(
+        "Stimuli interface",
+        slices=round(_STIMULI_SLICES_ANCHOR * (rc.n_vcs / _DEFAULT.n_vcs)),
+        memories=[
+            MemoryShape(
+                "VC stimuli buffers",
+                depth=n * rc.n_vcs * VC_STIMULI_BUFFER_DEPTH,
+                width=BUFFER_ENTRY_BITS,
+            ),
+            MemoryShape(
+                "output buffers", depth=n * OUTPUT_BUFFER_DEPTH, width=BUFFER_ENTRY_BITS
+            ),
+        ],
+    )
+    links = 4 * n  # directed inter-router links of the largest torus
+    network_block = BlockUsage(
+        "Network",
+        slices=round(_NETWORK_SLICES_ANCHOR * (rc.link_width / _DEFAULT.link_width)),
+        memories=[
+            MemoryShape("routing tables", depth=n * n, width=3),
+            MemoryShape("link memory (fwd+HBR)", depth=links, width=rc.link_width + 1),
+            MemoryShape("link memory (room+HBR)", depth=links, width=rc.n_vcs + 1),
+            MemoryShape("topology address translation", depth=links, width=8),
+        ],
+    )
+    rng_block = BlockUsage("Random number generator", slices=_RNG_SLICES_ANCHOR)
+    control_block = BlockUsage("Global control", slices=_CONTROL_SLICES_ANCHOR)
+    return ResourceReport(
+        blocks=[router_block, stimuli_block, network_block, rng_block, control_block],
+        device=device,
+    )
+
+
+# -- section 4: the direct-instantiation experiment ---------------------------
+
+
+@dataclass
+class DirectInstantiationEstimate:
+    """Per-router cost when the whole network is instantiated in parallel
+    (the approach the paper tried first and abandoned)."""
+
+    slices_per_router: int
+    tbufs_per_router: int
+    device: FpgaDevice
+
+    @property
+    def limit_by_slices(self) -> int:
+        return self.device.slices // self.slices_per_router
+
+    @property
+    def limit_by_tbufs(self) -> int:
+        return self.device.tbufs // self.tbufs_per_router
+
+    @property
+    def max_routers(self) -> int:
+        return min(self.limit_by_slices, self.limit_by_tbufs)
+
+
+def direct_instantiation_limit(
+    data_width: int = 6,
+    n_ports: int = 5,
+    n_vcs: int = 4,
+    queue_depth: int = 4,
+    device: FpgaDevice = VIRTEX2_8000,
+) -> DirectInstantiationEstimate:
+    """How many routers fit when instantiated directly (section 4:
+    "initial synthesis tests showed a size limitation of approximately 24
+    routers in a Virtex-II 8000 [...] with a reduced data-path of 6-bit";
+    "the two major bottlenecks were the number of CLBs and available
+    number of tri-states").
+
+    Registers become flip-flops (2 per slice); the combinational logic
+    scales from the router anchor with the data-path width; the crossbar
+    is realised with internal tri-state buffers, one per queue output
+    line per port.
+    """
+    flit_width = data_width + 2
+    n_queues = n_ports * n_vcs
+    queue_bits = n_queues * queue_depth * flit_width
+    control_bits = n_queues * 7 + n_queues * 6 + n_ports * 5 + 7
+    ff_slices = (queue_bits + control_bits + 1) // 2
+    scale = RouterConfig(
+        n_ports=n_ports,
+        n_vcs=n_vcs,
+        queue_depth=queue_depth,
+        data_width=max(9, data_width),  # header floor for config validation
+    )
+    comb = _ROUTER_SLICES_ANCHOR * _router_logic_scale(scale)
+    comb *= (data_width + 2) / (scale.data_width + 2)  # narrow datapath credit
+    vc_bits = max(1, (n_vcs - 1).bit_length())
+    tbufs = n_queues * n_ports * (flit_width + vc_bits)
+    return DirectInstantiationEstimate(
+        slices_per_router=round(ff_slices + comb),
+        tbufs_per_router=tbufs,
+        device=device,
+    )

@@ -1,0 +1,155 @@
+"""Packet segmentation and reassembly.
+
+The paper's traffic classes (section 2): guaranteed-throughput packets of
+256 bytes and best-effort packets of 10 bytes.  With a 16-bit data path a
+flit carries 2 payload bytes; a packet is::
+
+    HEAD(header) . BODY(source-info) . BODY(payload)* . TAIL(payload)
+
+so the wire length is ``2 + ceil(payload_bytes / 2)`` flits — 7 flits for
+a 10-byte BE packet and 130 for a 256-byte GT packet.  (The paper quotes
+packet *payload* sizes; the framing overhead is part of our documented
+protocol.)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.noc.config import NetworkConfig
+from repro.noc.flit import Flit, FlitType, Header, SourceInfo
+
+
+class PacketClass(enum.Enum):
+    """Traffic class of a packet (section 2)."""
+
+    GT = "guaranteed-throughput"
+    BE = "best-effort"
+
+
+#: Paper packet payload sizes in bytes (section 2.1: "256 bytes against
+#: 10 bytes for BE packets").
+GT_PAYLOAD_BYTES = 256
+BE_PAYLOAD_BYTES = 10
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A packet before segmentation / after reassembly."""
+
+    src: int
+    dest: int
+    pclass: PacketClass
+    payload: bytes
+    tag: int = 0
+    seq: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.payload) < 1:
+            raise ValueError("packet payload must be non-empty")
+
+
+def flits_per_packet(payload_bytes: int, data_width: int = 16) -> int:
+    """Wire length in flits of a packet with ``payload_bytes`` of payload."""
+    bytes_per_flit = data_width // 8
+    if bytes_per_flit < 1:
+        raise ValueError("data path narrower than a byte cannot carry payloads")
+    payload_flits = -(-payload_bytes // bytes_per_flit)  # ceil
+    return 2 + payload_flits  # HEAD + SourceInfo BODY + payload flits
+
+
+def segment(packet: Packet, net: NetworkConfig) -> List[Flit]:
+    """Cut a packet into its flit sequence.
+
+    The last payload flit becomes the TAIL; all intermediate ones are
+    BODY flits.  Payload bytes are packed little-endian into the data
+    field, ``data_width // 8`` bytes per flit.
+    """
+    data_width = net.router.data_width
+    bytes_per_flit = data_width // 8
+    if bytes_per_flit < 1:
+        raise ValueError("data path narrower than a byte cannot carry payloads")
+    dx, dy = net.coords(packet.dest)
+    sx, sy = net.coords(packet.src)
+    flits = [Header(dx, dy, gt=packet.pclass is PacketClass.GT, tag=packet.tag).head_flit()]
+    flits.append(Flit(FlitType.BODY, SourceInfo(sx, sy, packet.seq & 0xFF).encode()))
+    chunks = [
+        packet.payload[i : i + bytes_per_flit]
+        for i in range(0, len(packet.payload), bytes_per_flit)
+    ]
+    for i, chunk in enumerate(chunks):
+        word = int.from_bytes(chunk, "little")
+        ftype = FlitType.TAIL if i == len(chunks) - 1 else FlitType.BODY
+        flits.append(Flit(ftype, word))
+    return flits
+
+
+@dataclass
+class _PartialPacket:
+    header: Header
+    flits: List[Flit] = field(default_factory=list)
+
+
+class Reassembler:
+    """Rebuilds packets from the flit stream of one local output port.
+
+    Wormhole switching guarantees that the flits of a packet arrive
+    contiguously *per VC*; packets on different VCs of the same port may
+    interleave, so reassembly state is per VC.
+    """
+
+    def __init__(self, net: NetworkConfig) -> None:
+        self.net = net
+        self._partial: Dict[int, _PartialPacket] = {}
+        self.completed: List[Tuple[Packet, int, int]] = []  # (packet, vc, cycle)
+
+    def push(self, vc: int, flit: Flit, cycle: int) -> Optional[Packet]:
+        """Feed one ejected flit; returns the packet when it completes."""
+        if flit.ftype == FlitType.IDLE:
+            return None
+        if flit.ftype == FlitType.HEAD:
+            if vc in self._partial:
+                raise ProtocolError(f"VC {vc}: HEAD while a packet is open")
+            self._partial[vc] = _PartialPacket(Header.decode(flit.data))
+            return None
+        if vc not in self._partial:
+            raise ProtocolError(f"VC {vc}: {flit.ftype.name} without a HEAD")
+        partial = self._partial[vc]
+        partial.flits.append(flit)
+        if flit.ftype != FlitType.TAIL:
+            return None
+        del self._partial[vc]
+        packet = self._finish(partial, vc, cycle)
+        self.completed.append((packet, vc, cycle))
+        return packet
+
+    def _finish(self, partial: _PartialPacket, vc: int, cycle: int) -> Packet:
+        if len(partial.flits) < 2:
+            # A well-formed packet carries at least the source-info BODY
+            # and one payload flit between HEAD and TAIL.
+            raise ProtocolError("packet too short: no body flits before TAIL")
+        source = SourceInfo.decode(partial.flits[0].data)
+        bytes_per_flit = self.net.router.data_width // 8
+        payload = b"".join(
+            flit.data.to_bytes(bytes_per_flit, "little") for flit in partial.flits[1:]
+        )
+        header = partial.header
+        return Packet(
+            src=self.net.index(source.src_x, source.src_y),
+            dest=self.net.index(header.dest_x, header.dest_y),
+            pclass=PacketClass.GT if header.gt else PacketClass.BE,
+            payload=payload,
+            tag=header.tag,
+            seq=source.seq,
+        )
+
+    @property
+    def open_vcs(self) -> Sequence[int]:
+        """VCs with a partially received packet (for end-of-run checks)."""
+        return tuple(sorted(self._partial))
+
+
+class ProtocolError(RuntimeError):
+    """Raised when the flit stream violates the wormhole protocol."""

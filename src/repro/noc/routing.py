@@ -1,0 +1,92 @@
+"""Deterministic dimension-order (XY) routing.
+
+The simulation flow of section 5.3 "start[s] with generating a routing
+information table"; this module is that step.  Routing is X-first
+dimension order: correct the column, then the row.  On a torus the
+shorter wrap-around direction is taken, with ties broken towards
+EAST/SOUTH so that every engine computes the identical route.
+
+The route of a packet is a pure function of (current router, destination)
+and is evaluated by the router when it sees a HEAD flit; precomputing it
+as a table (`RoutingTable`) both matches the paper's flow and keeps the
+hot simulation path cheap.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.noc.config import NetworkConfig, Port
+from repro.noc.topology import Topology
+
+
+def route_port(net: NetworkConfig, current: int, dest: int) -> Port:
+    """Output port a packet for ``dest`` takes at router ``current``.
+
+    Returns :data:`Port.LOCAL` when the packet has arrived.
+    """
+    cx, cy = net.coords(current)
+    dx, dy = net.coords(dest)
+    if cx != dx:
+        return _axis_port(cx, dx, net.width, net.topology, Port.EAST, Port.WEST)
+    if cy != dy:
+        return _axis_port(cy, dy, net.height, net.topology, Port.SOUTH, Port.NORTH)
+    return Port.LOCAL
+
+
+def _axis_port(c: int, d: int, size: int, topology: str, pos: Port, neg: Port) -> Port:
+    if topology == "mesh":
+        return pos if d > c else neg
+    forward = (d - c) % size  # hops going in the positive direction
+    backward = (c - d) % size
+    return pos if forward <= backward else neg
+
+
+class RoutingTable:
+    """Per-router next-hop table: ``table[router][dest] -> Port``.
+
+    This is the "routing information table" the ARM software generates
+    before a simulation run (section 5.3, step 0).
+    """
+
+    def __init__(self, net: NetworkConfig) -> None:
+        self.net = net
+        self._topo = Topology(net)
+        n = net.n_routers
+        self.table: List[List[Port]] = [
+            [route_port(net, current, dest) for dest in range(n)] for current in range(n)
+        ]
+
+    def port(self, current: int, dest: int) -> Port:
+        return self.table[current][dest]
+
+    def path(self, src: int, dest: int) -> Sequence[int]:
+        """Routers visited from ``src`` to ``dest`` inclusive."""
+        topo = self._topo
+        path = [src]
+        current = src
+        guard = 0
+        while current != dest:
+            port = self.table[current][dest]
+            nxt = topo.neighbor(current, port)
+            if nxt is None:
+                raise RuntimeError(
+                    f"routing table leads off the fabric at router {current} port {port}"
+                )
+            path.append(nxt)
+            current = nxt
+            guard += 1
+            if guard > self.net.n_routers * 2:
+                raise RuntimeError("routing loop detected")
+        return path
+
+    def links_on_path(self, src: int, dest: int) -> Sequence[tuple]:
+        """Directed links ``(router, out_port)`` traversed from src to dest."""
+        out = []
+        current = src
+        topo = self._topo
+        while current != dest:
+            port = self.table[current][dest]
+            out.append((current, port))
+            current = topo.neighbor(current, port)
+        return tuple(out)

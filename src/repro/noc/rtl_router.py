@@ -1,0 +1,327 @@
+"""Structural RTL description of the router on the event-driven kernel.
+
+This is the reproduction's stand-in for "the original VHDL sources": the
+router assembled from 20 synchronous FIFOs, per-output-port round-robin
+arbiters and an output-VC allocator, connected by signals and simulated
+with VHDL delta-cycle semantics.  Bit equivalence of this description
+with the functional model (:mod:`repro.noc.router`) and the sequential
+simulator is the analogue of the paper's claim that the FPGA simulator
+needs only "a small code difference with the original VHDL source code".
+
+Timing convention: one system cycle = one full clock period, driven as
+two kernel time steps (falling edge: testbench inputs settle; rising
+edge: registers capture).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.noc.config import Port, RouterConfig
+from repro.noc.flit import FlitType, Header
+from repro.rtl.module import Module
+from repro.rtl.primitives import SyncFifo, round_robin_grant
+from repro.rtl.signal import Signal
+from repro.rtl.simulator import Simulator
+
+
+class RtlRouter(Module):
+    """One router instance.
+
+    External ports (created here; the network wires them):
+
+    * ``fwd_in[p]`` — forward link word arriving at input port ``p``;
+      for non-local ports the network aliases these to the neighbour's
+      ``fwd_out``; the local one is driven by the stimuli interface.
+    * ``room_in[p]`` — downstream room mask seen at output port ``p``.
+    * ``fwd_out[p]`` / ``room_out[p]`` — driven by this router.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        clk: Signal,
+        cfg: RouterConfig,
+        route: Callable[[int], Port],
+        dest_index: Callable[[Header], int],
+        parent: Optional[Module] = None,
+        be_candidates: Optional[Callable[[int, int, int], tuple]] = None,
+    ) -> None:
+        super().__init__(sim, name, parent)
+        self.cfg = cfg
+        self.clk = clk
+        self.route = route
+        self.dest_index = dest_index
+        if be_candidates is None:
+            be_vcs = cfg.be_vcs
+            be_candidates = lambda in_port, in_vc, out_port: be_vcs  # noqa: E731
+        self.be_candidates = be_candidates
+        np, nv, nq = cfg.n_ports, cfg.n_vcs, cfg.n_queues
+        lw, fw = cfg.link_width, cfg.flit_width
+
+        # -- ports -----------------------------------------------------------
+        self.fwd_in = [self.signal(f"fwd_in{p}", lw) for p in range(np)]
+        self.room_in = [self.signal(f"room_in{p}", nv) for p in range(np)]
+        self.fwd_out = [self.signal(f"fwd_out{p}", lw) for p in range(np)]
+        self.room_out = [self.signal(f"room_out{p}", nv) for p in range(np)]
+
+        # -- input queues -----------------------------------------------------
+        self.queues: List[SyncFifo] = [
+            SyncFifo(sim, f"q{q}", clk, depth=cfg.queue_depth, width=fw, parent=self)
+            for q in range(nq)
+        ]
+
+        # -- allocation table registers ----------------------------------------
+        # alloc_valid: one bit per output VC; alloc_src[ovc]: source queue.
+        self.alloc_valid = self.signal("alloc_valid", nq)
+        self.alloc_src = [
+            self.signal(f"alloc_src{ovc}", cfg.queue_index_bits) for ovc in range(nq)
+        ]
+        self.alloc_ptr = self.signal("alloc_ptr", cfg.queue_index_bits, reset=nq - 1)
+
+        # -- arbiter pointers ---------------------------------------------------
+        self.arb_ptr = [
+            self.signal(f"arb_ptr{p}", cfg.queue_index_bits, reset=nq - 1)
+            for p in range(np)
+        ]
+        # grant_q[p]: granted queue index (nq = none); grant_ovc[p] likewise.
+        self.grant_q = [
+            self.signal(f"grant_q{p}", cfg.queue_index_bits + 1, reset=nq)
+            for p in range(np)
+        ]
+        self.grant_ovc = [
+            self.signal(f"grant_ovc{p}", cfg.queue_index_bits + 1, reset=nq)
+            for p in range(np)
+        ]
+        # pop vector across all queues (one driver).
+        self.pop_vec = self.signal("pop_vec", nq)
+
+        self._build_room_logic()
+        self._build_push_logic()
+        self._build_grant_logic()
+        self._build_pop_logic()
+        self._build_pointer_update()
+        self._build_allocator()
+
+    # -- combinational: room masks out of queue occupancy ---------------------
+    def _build_room_logic(self) -> None:
+        cfg = self.cfg
+
+        def make(p: int):
+            base = p * cfg.n_vcs
+            queues = self.queues[base : base + cfg.n_vcs]
+
+            def proc() -> None:
+                mask = 0
+                for vc, q in enumerate(queues):
+                    if q.count.uint < cfg.queue_depth:
+                        mask |= 1 << vc
+                self.room_out[p].assign(mask)
+
+            self.process(f"room{p}", proc, sensitivity=[q.count for q in queues])
+
+        for p in range(cfg.n_ports):
+            make(p)
+
+    # -- combinational: link-word decode -> queue push strobes -----------------
+    def _build_push_logic(self) -> None:
+        cfg = self.cfg
+
+        def make(p: int):
+            base = p * cfg.n_vcs
+            wire = self.fwd_in[p]
+            queues = self.queues[base : base + cfg.n_vcs]
+
+            def proc() -> None:
+                word = wire.uint
+                ftype = (word >> cfg.data_width) & 3
+                vc = word >> (cfg.data_width + 2)
+                for i, q in enumerate(queues):
+                    if ftype != FlitType.IDLE and i == vc:
+                        q.push.assign(1)
+                        q.data_in.assign(word & ((1 << cfg.flit_width) - 1))
+                    else:
+                        q.push.assign(0)
+
+            self.process(f"push{p}", proc, sensitivity=[wire])
+
+        for p in range(cfg.n_ports):
+            make(p)
+
+    # -- combinational: per-output-port arbitration and forward words ----------
+    def _build_grant_logic(self) -> None:
+        cfg = self.cfg
+        nq = cfg.n_queues
+
+        def make(p: int):
+            base = p * cfg.n_vcs
+            sens = [self.room_in[p], self.arb_ptr[p], self.alloc_valid]
+            sens += [self.alloc_src[base + vc] for vc in range(cfg.n_vcs)]
+            sens += [q.count for q in self.queues]
+            sens += [q.head for q in self.queues]
+
+            def proc() -> None:
+                req = 0
+                ovc_of = {}
+                room = self.room_in[p].uint
+                valid = self.alloc_valid.uint
+                for vc in range(cfg.n_vcs):
+                    ovc = base + vc
+                    if not (valid >> ovc) & 1:
+                        continue
+                    src = self.alloc_src[ovc].uint
+                    if self.queues[src].count.uint > 0 and (room >> vc) & 1:
+                        req |= 1 << src
+                        ovc_of[src] = ovc
+                g = round_robin_grant(req, nq, self.arb_ptr[p].uint)
+                if g < 0:
+                    self.grant_q[p].assign(nq)
+                    self.grant_ovc[p].assign(nq)
+                    self.fwd_out[p].assign(0)
+                else:
+                    ovc = ovc_of[g]
+                    self.grant_q[p].assign(g)
+                    self.grant_ovc[p].assign(ovc)
+                    vc_out = ovc - base
+                    word = (vc_out << (cfg.data_width + 2)) | self.queues[g].head.uint
+                    self.fwd_out[p].assign(word)
+
+            self.process(f"grant{p}", proc, sensitivity=sens)
+
+        for p in range(cfg.n_ports):
+            make(p)
+
+    # -- combinational: pops from grants (single driver over all queues) -------
+    def _build_pop_logic(self) -> None:
+        cfg = self.cfg
+        nq = cfg.n_queues
+
+        def proc() -> None:
+            vec = 0
+            for p in range(cfg.n_ports):
+                g = self.grant_q[p].uint
+                if g < nq:
+                    vec |= 1 << g
+            self.pop_vec.assign(vec)
+            for q_index, q in enumerate(self.queues):
+                q.pop.assign((vec >> q_index) & 1)
+
+        self.process("pops", proc, sensitivity=list(self.grant_q))
+
+    # -- clocked: arbiter pointers advance to the granted queue -----------------
+    def _build_pointer_update(self) -> None:
+        cfg = self.cfg
+        nq = cfg.n_queues
+        state = {"prev": self.clk.uint}
+
+        def proc() -> None:
+            rising = state["prev"] == 0 and self.clk.uint == 1
+            state["prev"] = self.clk.uint
+            if not rising:
+                return
+            for p in range(cfg.n_ports):
+                g = self.grant_q[p].uint
+                if g < nq:
+                    self.arb_ptr[p].assign(g)
+
+        self.process("arb_update", proc, sensitivity=[self.clk])
+
+    # -- clocked: allocation table (tail release + new allocations) -------------
+    def _build_allocator(self) -> None:
+        cfg = self.cfg
+        nq = cfg.n_queues
+        state = {"prev": self.clk.uint}
+
+        def proc() -> None:
+            rising = state["prev"] == 0 and self.clk.uint == 1
+            state["prev"] = self.clk.uint
+            if not rising:
+                return
+            valid = self.alloc_valid.uint
+            # Old-table view used for all decisions this edge.
+            old_valid = valid
+            src_of = [self.alloc_src[ovc].uint for ovc in range(nq)]
+            queue_allocated = 0
+            for ovc in range(nq):
+                if (old_valid >> ovc) & 1:
+                    queue_allocated |= 1 << src_of[ovc]
+
+            # 1. TAIL flits leaving release their output VC.
+            for p in range(cfg.n_ports):
+                g = self.grant_q[p].uint
+                if g >= nq:
+                    continue
+                head = self.queues[g].head.uint
+                if (head >> cfg.data_width) & 3 == FlitType.TAIL:
+                    ovc = self.grant_ovc[p].uint
+                    valid &= ~(1 << ovc)
+
+            # 2. Un-allocated queues with a HEAD at the front claim a free
+            #    output VC (rotating-priority scan over the old table).
+            claimed = 0
+            last_alloc = -1
+            ptr = self.alloc_ptr.uint
+            for off in range(1, nq + 1):
+                q_index = (ptr + off) % nq
+                if (queue_allocated >> q_index) & 1:
+                    continue
+                queue = self.queues[q_index]
+                if queue.count.uint == 0:
+                    continue
+                head = queue.head.uint
+                if (head >> cfg.data_width) & 3 != FlitType.HEAD:
+                    continue
+                header = Header.decode(head & ((1 << cfg.data_width) - 1))
+                out_port = int(self.route(self.dest_index(header)))
+                in_vc = q_index % cfg.n_vcs
+                in_port = q_index // cfg.n_vcs
+                if header.gt:
+                    if in_vc not in cfg.gt_vcs:
+                        raise RuntimeError(
+                            f"{self.path}: GT head on non-GT VC {in_vc}"
+                        )
+                    candidates = (in_vc,)
+                else:
+                    candidates = self.be_candidates(in_port, in_vc, out_port)
+                for vc_out in candidates:
+                    ovc = out_port * cfg.n_vcs + vc_out
+                    bit = 1 << ovc
+                    if not (old_valid & bit) and not (claimed & bit):
+                        valid |= bit
+                        self.alloc_src[ovc].assign(q_index)
+                        claimed |= bit
+                        last_alloc = q_index
+                        break
+            if last_alloc >= 0:
+                self.alloc_ptr.assign(last_alloc)
+            self.alloc_valid.assign(valid)
+
+        self.process("alloc_update", proc, sensitivity=[self.clk])
+
+    # -- snapshot for equivalence checking -------------------------------------
+    def architectural_state(self):
+        """Assemble a functional :class:`RouterState` from the signals."""
+        from repro.noc.router import RouterState
+
+        cfg = self.cfg
+        state = RouterState(cfg)
+        for q_index, fifo in enumerate(self.queues):
+            queue = state.queues[q_index]
+            queue.mem = [bv.value for bv in fifo._mem]
+            queue.rd = fifo._rd
+            queue.wr = fifo._wr
+            queue.count = fifo._occupancy
+        valid = self.alloc_valid.uint
+        state.alloc = [
+            self.alloc_src[ovc].uint if (valid >> ovc) & 1 else -1
+            for ovc in range(cfg.n_queues)
+        ]
+        state.queue_alloc = [-1] * cfg.n_queues
+        for ovc, src in enumerate(state.alloc):
+            if src >= 0:
+                state.queue_alloc[src] = ovc
+        state.arb_ptr = [self.arb_ptr[p].uint for p in range(cfg.n_ports)]
+        state.alloc_ptr = self.alloc_ptr.uint
+        state.flags = 0
+        return state

@@ -1,0 +1,118 @@
+"""2-D torus and mesh fabrics.
+
+The paper's FPGA simulator supports both topologies, "determined by
+software" and realised as "a change in the addressing function of the
+link memories" (section 7.1).  That is literally what this module is: the
+addressing function from (router, port) to neighbour, and the induced
+set of directed wires used by the link memory of the sequential
+simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.noc.config import NetworkConfig, Port
+
+
+@dataclass(frozen=True)
+class Wire:
+    """A directed inter-router connection carrying one signal bundle.
+
+    ``kind`` distinguishes the forward (flit) wire, written by the
+    router whose *output* port faces the link, from the backward (room /
+    flow-control) wire written by the router whose *input* port faces it.
+    Local-port wires connect a router to its stimuli interface and are
+    internal to the evaluated unit in the sequential simulator.
+    """
+
+    writer: int  # router index that drives the wire
+    writer_port: Port
+    reader: int  # router index that samples the wire
+    reader_port: Port
+    kind: str  # "fwd" or "room"
+
+
+class Topology:
+    """Neighbour relation and wire list for a :class:`NetworkConfig`."""
+
+    def __init__(self, net: NetworkConfig) -> None:
+        self.net = net
+        self._neighbor: List[Dict[Port, int]] = [dict() for _ in range(net.n_routers)]
+        for index in range(net.n_routers):
+            x, y = net.coords(index)
+            for port, (dx, dy) in _DIRECTION.items():
+                nx, ny = x + dx, y + dy
+                if net.topology == "torus":
+                    nx %= net.width
+                    ny %= net.height
+                elif not (0 <= nx < net.width and 0 <= ny < net.height):
+                    continue  # mesh edge: port unconnected
+                # Degenerate dimensions on a torus (width or height 1 or 2)
+                # would create self-loops / doubled links; suppress
+                # self-loops, keep doubled links (they are distinct ports).
+                neighbor = net.index(nx, ny)
+                if neighbor == index:
+                    continue
+                self._neighbor[index][port] = neighbor
+
+    def neighbor(self, router: int, port: Port) -> Optional[int]:
+        """Router on the far side of ``port``, or ``None`` if unconnected."""
+        if port == Port.LOCAL:
+            return None
+        return self._neighbor[router].get(port)
+
+    def connected_ports(self, router: int) -> Tuple[Port, ...]:
+        """Non-local ports of ``router`` that have a neighbour."""
+        return tuple(sorted(self._neighbor[router], key=int))
+
+    def links(self) -> List[Tuple[int, Port, int, Port]]:
+        """All directed links as ``(src, src_port, dst, dst_port)``.
+
+        Each physical channel appears once per direction.
+        """
+        out = []
+        for router in range(self.net.n_routers):
+            for port, neighbor in sorted(self._neighbor[router].items(), key=lambda kv: int(kv[0])):
+                out.append((router, port, neighbor, port.opposite))
+        return out
+
+    def wires(self) -> List[Wire]:
+        """All inter-router wires, forward and backward.
+
+        For every directed link ``r --(port p)--> s`` there are two wires:
+
+        * forward: written by ``r`` at output ``p``, read by ``s`` at
+          input ``p.opposite`` — carries the link word;
+        * room: written by ``s`` (the state of its input queues at
+          ``p.opposite``), read by ``r`` at output ``p`` — carries the
+          per-VC space mask.
+        """
+        out: List[Wire] = []
+        for src, src_port, dst, dst_port in self.links():
+            out.append(Wire(src, src_port, dst, dst_port, "fwd"))
+            out.append(Wire(dst, dst_port, src, src_port, "room"))
+        return out
+
+    def hops(self, src: int, dest: int) -> int:
+        """Minimal hop distance under dimension-order routing."""
+        sx, sy = self.net.coords(src)
+        dx, dy = self.net.coords(dest)
+        return self._axis_distance(sx, dx, self.net.width) + self._axis_distance(
+            sy, dy, self.net.height
+        )
+
+    def _axis_distance(self, a: int, b: int, size: int) -> int:
+        d = abs(a - b)
+        if self.net.topology == "torus":
+            return min(d, size - d)
+        return d
+
+
+_DIRECTION = {
+    Port.NORTH: (0, -1),
+    Port.EAST: (1, 0),
+    Port.SOUTH: (0, 1),
+    Port.WEST: (-1, 0),
+}

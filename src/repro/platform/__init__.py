@@ -1,0 +1,26 @@
+"""Co-simulation of the ARM + FPGA platform software (section 5.3).
+
+The simulation is "completely controlled in software by the ARM
+processor", organised as five processes communicating through cyclic
+buffers (Fig. 8).  This package reproduces that control program:
+
+* :mod:`repro.platform.cyclic_buffer` — the cyclic buffers with
+  timestamped entries and under/overrun protection;
+* :mod:`repro.platform.controller` — the five-phase simulation loop
+  (generate, load, simulate one period, retrieve, analyze), including
+  the overload stop and the per-phase profile of Table 4;
+* :mod:`repro.platform.profiler` — modelled-time profiling.
+"""
+
+from repro.platform.cyclic_buffer import BufferOverrunError, BufferUnderrunError, CyclicBuffer
+from repro.platform.controller import SimulationController, SimulationReport
+from repro.platform.profiler import PhaseProfiler
+
+__all__ = [
+    "BufferOverrunError",
+    "BufferUnderrunError",
+    "CyclicBuffer",
+    "PhaseProfiler",
+    "SimulationController",
+    "SimulationReport",
+]

@@ -1,0 +1,278 @@
+"""The ARM control program: the five-phase simulation loop of section 5.3.
+
+    "The simulation is performed in steps.  We start with generating a
+    routing information table.  After all routes are determined, a loop
+    is started that has five phases. 1) ... generating the traffic for
+    each node in a stimuli table ... 2) The generated stimuli have to be
+    written into the input buffers of the FPGA ... 3) ... start the
+    simulation in the FPGA and evaluate x system cycles ... To prevent
+    buffer underrun, the simulation period is fixed to the size of the
+    VC stimuli buffers ... 4) After a single simulation period, we have
+    to empty the output buffers ... 5) After the data is retrieved from
+    the FPGA it is analyzed and the desired statistics are stored."
+
+The controller reproduces that loop over any engine, moving every flit
+through the same cyclic buffers the hardware used, and drives the
+:class:`repro.fpga.timing.PlatformModel` with the measured event counts
+to produce the Table 3 speed and Table 4 profile figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from repro.fpga.resources import OUTPUT_BUFFER_DEPTH, VC_STIMULI_BUFFER_DEPTH
+from repro.fpga.timing import PlatformModel
+from repro.noc.config import NetworkConfig
+from repro.noc.packet import Packet, segment
+from repro.platform.cyclic_buffer import CyclicBuffer
+from repro.platform.profiler import PhaseProfiler
+from repro.stats.latency import PacketLatencyTracker
+from repro.traffic.generators import BernoulliBeTraffic, GtStreamTraffic
+from repro.traffic.stimuli import SubmitRecord
+
+
+@dataclass
+class SimulationReport:
+    """Everything the control software reports after a run."""
+
+    cycles: int
+    periods: int
+    flits_generated: int
+    flits_loaded: int
+    flits_retrieved: int
+    flits_discarded: int
+    total_deltas: int
+    overloaded: bool
+    profile: PhaseProfiler
+    modeled_cps: float
+    wall_seconds_modeled: float
+
+
+class SimulationController:
+    """Runs an engine through the paper's periodized simulation loop."""
+
+    def __init__(
+        self,
+        engine,
+        be: Optional[BernoulliBeTraffic] = None,
+        gt: Optional[GtStreamTraffic] = None,
+        period: Optional[int] = None,
+        platform: Optional[PlatformModel] = None,
+        interesting_routers: Optional[Set[int]] = None,
+        tracker: Optional[PacketLatencyTracker] = None,
+        fpga_rng: bool = True,
+        complex_analysis: bool = False,
+        stall_limit: int = 20_000,
+    ) -> None:
+        self.engine = engine
+        self.net: NetworkConfig = engine.cfg
+        self.be = be
+        self.gt = gt
+        # "the simulation period is fixed to the size of the VC stimuli
+        # buffers in the FPGA" — and must not overrun the output buffers.
+        self.period = period or min(VC_STIMULI_BUFFER_DEPTH, OUTPUT_BUFFER_DEPTH)
+        if self.period > OUTPUT_BUFFER_DEPTH:
+            raise ValueError(
+                f"period {self.period} can overrun the {OUTPUT_BUFFER_DEPTH}-entry "
+                "output buffers"
+            )
+        self.platform = platform or PlatformModel()
+        self.interesting = interesting_routers  # None = all routers
+        self.tracker = tracker
+        self.fpga_rng = fpga_rng
+        self.complex_analysis = complex_analysis
+        self.stall_limit = stall_limit
+
+        rc = self.net.router
+        n = self.net.n_routers
+        #: software-side stimuli table backlog, per (router, vc)
+        self.stimuli_backlog: Dict[Tuple[int, int], Deque[int]] = {}
+        #: FPGA-side per-VC injection buffers
+        self.vc_buffers = {
+            (r, vc): CyclicBuffer(VC_STIMULI_BUFFER_DEPTH, f"stim[{r},{vc}]")
+            for r in range(n)
+            for vc in range(rc.n_vcs)
+        }
+        #: FPGA-side per-router output buffers
+        self.output_buffers = [
+            CyclicBuffer(OUTPUT_BUFFER_DEPTH, f"out[{r}]") for r in range(n)
+        ]
+        self._be_vc_toggle = [0] * n
+        self._stall: Dict[Tuple[int, int], int] = {}
+        self._ej_seen = 0
+        self.profile = PhaseProfiler()
+        # Steady-state pipeline overlap: the FPGA period hides behind this
+        # period's generate+load plus the previous period's retrieve+analyze
+        # (all decoupled through the cyclic buffers).  ARM work not needed
+        # for hiding carries over as credit for a few periods — the
+        # smoothing the multi-period-deep cyclic buffers provide.
+        self._prev_retr_analyze_seconds = 0.0
+        self._overlap_credit = 0.0
+        self.OVERLAP_CREDIT_PERIODS = 3
+        self.flits_generated = 0
+        self.flits_loaded = 0
+        self.flits_retrieved = 0
+        self.flits_discarded = 0
+        self.overloaded = False
+        self.retrieved: List = []
+
+    # -- phase 1: generate ------------------------------------------------------
+    def _generate_period(self, start_cycle: int) -> int:
+        """Fill the stimuli table with traffic for one period; returns
+        the number of flits generated."""
+        generated = 0
+        for offset in range(self.period):
+            cycle = start_cycle + offset
+            if self.gt is not None:
+                for packet, vc in self.gt.packets_for_cycle(cycle):
+                    generated += self._submit(packet, vc, cycle)
+            if self.be is not None:
+                be_vcs = self.net.router.be_vcs
+                for packet in self.be.packets_for_cycle(cycle):
+                    toggle = self._be_vc_toggle[packet.src]
+                    self._be_vc_toggle[packet.src] = (toggle + 1) % len(be_vcs)
+                    generated += self._submit(packet, be_vcs[toggle], cycle)
+        self.flits_generated += generated
+        return generated
+
+    def _submit(self, packet: Packet, vc: int, cycle: int) -> int:
+        if self.tracker is not None:
+            self.tracker.note_submit(SubmitRecord(packet, vc, cycle))
+        backlog = self.stimuli_backlog.setdefault((packet.src, vc), deque())
+        words = [f.encode(self.net.router.data_width) for f in segment(packet, self.net)]
+        backlog.extend(words)
+        return len(words)
+
+    # -- phase 2: load -----------------------------------------------------------
+    def _load_buffers(self) -> int:
+        """Move stimuli into the FPGA VC buffers: "all input buffers are
+        maximally filled unless no data is available".  Unconsumed data
+        stays in the table and is written eventually."""
+        loaded = 0
+        for key, backlog in self.stimuli_backlog.items():
+            if not backlog:
+                continue
+            buffer = self.vc_buffers[key]
+            while backlog and not buffer.is_full:
+                buffer.write(self.engine.cycle, backlog.popleft())
+                loaded += 1
+        self.flits_loaded += loaded
+        return loaded
+
+    # -- phase 3: simulate one period ----------------------------------------------
+    def _simulate_period(self) -> int:
+        """Run the engine for ``period`` cycles; the injection hardware
+        feeds from the VC buffers, ejections land in the output buffers.
+        Returns delta cycles executed (modelled as one per router per
+        cycle for engines without delta metrics)."""
+        engine = self.engine
+        metrics = getattr(engine, "metrics", None)
+        deltas_before = metrics.total_deltas if metrics else 0
+        for _ in range(self.period):
+            for (router, vc), buffer in self.vc_buffers.items():
+                if buffer.is_empty:
+                    continue
+                if engine.offer(router, vc, buffer.peek().payload):
+                    buffer.read()
+                    self._stall[(router, vc)] = 0
+                else:
+                    stalled = self._stall.get((router, vc), 0) + 1
+                    self._stall[(router, vc)] = stalled
+                    if stalled > self.stall_limit:
+                        self.overloaded = True
+            engine.step()
+            self._capture_ejections()
+            if self.overloaded:
+                break
+        if metrics:
+            return metrics.total_deltas - deltas_before
+        return self.net.n_routers * self.period
+
+    def _capture_ejections(self) -> None:
+        ejections = self.engine.ejections
+        for record in ejections[self._ej_seen :]:
+            self.output_buffers[record.router].write(
+                record.cycle, (record.vc, record.flit_word)
+            )
+        self._ej_seen = len(ejections)
+
+    # -- phase 4: retrieve -----------------------------------------------------------
+    def _retrieve(self) -> Tuple[int, int]:
+        """Empty the output buffers.  Buffers of uninteresting routers
+        are emptied by advancing the read pointer only."""
+        retrieved = 0
+        discarded = 0
+        for router, buffer in enumerate(self.output_buffers):
+            if self.interesting is not None and router not in self.interesting:
+                discarded += buffer.discard_all()
+                continue
+            for entry in buffer.drain():
+                self.retrieved.append((router, entry))
+                retrieved += 1
+        self.flits_retrieved += retrieved
+        self.flits_discarded += discarded
+        return retrieved, discarded
+
+    # -- phase 5: analyze --------------------------------------------------------------
+    def _analyze(self) -> None:
+        if self.tracker is not None:
+            self.tracker.collect(self.engine)
+
+    # -- the loop -------------------------------------------------------------------
+    def run(self, cycles: int) -> SimulationReport:
+        """Simulate ``cycles`` system cycles (rounded up to periods)."""
+        arm = self.platform.arm
+        fpga = self.platform.fpga
+        periods = 0
+        total_deltas = 0
+        while periods * self.period < cycles and not self.overloaded:
+            generated = self._generate_period(self.engine.cycle)
+            self.profile.add(
+                "generate", arm.generate_seconds(generated, self.fpga_rng)
+            )
+            loaded = self._load_buffers()
+            load_seconds = arm.load_seconds(loaded, self.period)
+            self.profile.add("load", load_seconds)
+            deltas = self._simulate_period()
+            total_deltas += deltas
+            sim_raw = fpga.simulation_seconds(deltas)
+            overlap = (
+                arm.generate_seconds(generated, self.fpga_rng)
+                + load_seconds
+                + self._prev_retr_analyze_seconds
+                + self._overlap_credit
+            )
+            self.profile.add(
+                "simulate",
+                max(0.0, sim_raw - overlap) + arm.overhead_seconds(1),
+            )
+            self._overlap_credit = min(
+                max(0.0, overlap - sim_raw),
+                self.OVERLAP_CREDIT_PERIODS * max(overlap - self._overlap_credit, 0.0),
+            )
+            retrieved, _discarded = self._retrieve()
+            retrieve_seconds = arm.retrieve_seconds(retrieved, self.period)
+            self.profile.add("retrieve", retrieve_seconds)
+            self._analyze()
+            analyze_seconds = arm.analyze_seconds(retrieved, self.complex_analysis)
+            self.profile.add("analyze", analyze_seconds)
+            self._prev_retr_analyze_seconds = retrieve_seconds + analyze_seconds
+            periods += 1
+        wall = self.profile.total
+        executed = periods * self.period
+        return SimulationReport(
+            cycles=executed,
+            periods=periods,
+            flits_generated=self.flits_generated,
+            flits_loaded=self.flits_loaded,
+            flits_retrieved=self.flits_retrieved,
+            flits_discarded=self.flits_discarded,
+            total_deltas=total_deltas,
+            overloaded=self.overloaded,
+            profile=self.profile,
+            modeled_cps=executed / wall if wall > 0 else 0.0,
+            wall_seconds_modeled=wall,
+        )

@@ -1,0 +1,118 @@
+"""Cyclic buffers — the data plumbing of the platform (section 5.2).
+
+"The stimuli are buffered per virtual channel (VC) in cyclic buffers in
+the FPGA. [...] The data in the buffers has a timestamp [...] The cyclic
+buffers make it possible to run the simulation independently from the
+copying of data.  Of course, we have to prevent buffer under- and
+over-run."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class BufferOverrunError(RuntimeError):
+    """Write into a full cyclic buffer."""
+
+
+class BufferUnderrunError(RuntimeError):
+    """Read from an empty cyclic buffer."""
+
+
+@dataclass(frozen=True)
+class TimestampedEntry(Generic[T]):
+    """Buffer entry: payload plus the timestamp that lets the software
+    'store only valid data'."""
+
+    timestamp: int
+    payload: T
+
+
+class CyclicBuffer(Generic[T]):
+    """Fixed-capacity ring buffer with explicit read/write pointers.
+
+    Pointer arithmetic mirrors the hardware: the pointers wrap over
+    ``2 * capacity`` so full and empty are distinguishable without a
+    separate count register.
+    """
+
+    def __init__(self, capacity: int, name: str = "buffer") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self._entries: List[Optional[TimestampedEntry[T]]] = [None] * capacity
+        self._rd = 0  # wraps mod 2*capacity
+        self._wr = 0
+        self.total_written = 0
+        self.total_read = 0
+
+    # -- state -------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return (self._wr - self._rd) % (2 * self.capacity)
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.count
+
+    @property
+    def is_empty(self) -> bool:
+        return self.count == 0
+
+    @property
+    def is_full(self) -> bool:
+        return self.count == self.capacity
+
+    # -- access -------------------------------------------------------------
+    def write(self, timestamp: int, payload: T) -> None:
+        if self.is_full:
+            raise BufferOverrunError(f"{self.name}: write to full buffer")
+        self._entries[self._wr % self.capacity] = TimestampedEntry(timestamp, payload)
+        self._wr = (self._wr + 1) % (2 * self.capacity)
+        self.total_written += 1
+
+    def read(self) -> TimestampedEntry[T]:
+        if self.is_empty:
+            raise BufferUnderrunError(f"{self.name}: read from empty buffer")
+        entry = self._entries[self._rd % self.capacity]
+        self._rd = (self._rd + 1) % (2 * self.capacity)
+        self.total_read += 1
+        assert entry is not None
+        return entry
+
+    def peek(self) -> TimestampedEntry[T]:
+        if self.is_empty:
+            raise BufferUnderrunError(f"{self.name}: peek on empty buffer")
+        entry = self._entries[self._rd % self.capacity]
+        assert entry is not None
+        return entry
+
+    def try_write(self, timestamp: int, payload: T) -> bool:
+        if self.is_full:
+            return False
+        self.write(timestamp, payload)
+        return True
+
+    def try_read(self) -> Optional[TimestampedEntry[T]]:
+        if self.is_empty:
+            return None
+        return self.read()
+
+    def discard_all(self) -> int:
+        """'For the buffers that are not interesting we can update the
+        read-pointer, which empties the buffer' (section 5.3, step 4)."""
+        discarded = self.count
+        self._rd = self._wr
+        self.total_read += discarded
+        return discarded
+
+    def drain(self) -> List[TimestampedEntry[T]]:
+        out = []
+        while not self.is_empty:
+            out.append(self.read())
+        return out

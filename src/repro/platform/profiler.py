@@ -1,0 +1,51 @@
+"""Per-phase profiling — the machinery behind Table 4."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+#: canonical phase names, in the order of Table 4.
+PHASES = ("generate", "load", "simulate", "retrieve", "analyze")
+
+
+@dataclass
+class PhaseProfiler:
+    """Accumulates modelled seconds per simulation phase."""
+
+    seconds: Dict[str, float] = field(default_factory=lambda: {p: 0.0 for p in PHASES})
+
+    def add(self, phase: str, seconds: float) -> None:
+        if phase not in self.seconds:
+            raise KeyError(f"unknown phase {phase!r}; known: {PHASES}")
+        if seconds < 0:
+            raise ValueError("negative time")
+        self.seconds[phase] += seconds
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def percentages(self) -> Dict[str, float]:
+        total = self.total
+        if total == 0:
+            return {p: 0.0 for p in PHASES}
+        return {p: 100.0 * self.seconds[p] / total for p in PHASES}
+
+    def rows(self) -> List[Tuple[str, float]]:
+        pct = self.percentages()
+        return [(p, pct[p]) for p in PHASES]
+
+    def render(self) -> str:
+        """Table-4-style rendering."""
+        labels = {
+            "generate": "Generate stimuli (ARM)",
+            "load": "Load stimuli (ARM / FPGA)",
+            "simulate": "Simulation (FPGA)",
+            "retrieve": "Retrieve results (ARM / FPGA)",
+            "analyze": "Analyze results (ARM)",
+        }
+        lines = [f"{'Simulation step':<32} {'%':>6}"]
+        for phase, pct in self.rows():
+            lines.append(f"{labels[phase]:<32} {pct:>5.1f}%")
+        return "\n".join(lines)

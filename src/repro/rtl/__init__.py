@@ -1,0 +1,27 @@
+"""Event-driven HDL simulation kernel (the "VHDL" baseline of Table 3).
+
+This package implements the two-level timing model the paper bases its
+method on (system cycles vs. delta cycles, after CONLAN [13]): an
+event-driven simulator with VHDL-style signals and processes.
+
+* :class:`Signal` — a typed wire whose assignments take effect one delta
+  cycle later (never immediately), exactly like VHDL signal assignment.
+* processes — plain Python callables registered with a sensitivity list;
+  a process runs whenever one of its sensitive signals changes.
+* :class:`Simulator` — the kernel: executes delta cycles until the signal
+  network is quiescent, then advances simulated time by one tick.
+* :class:`Module` — hierarchy/naming support for structural designs.
+* :mod:`repro.rtl.vcd` — value-change-dump tracing for waveform debug.
+
+The NoC router is described structurally on this kernel in
+:mod:`repro.noc.rtl_router`; bit-equivalence of that description with the
+functional router model is the reproduction's analogue of the paper's
+"small code difference with the original VHDL source" claim.
+"""
+
+from repro.rtl.signal import Signal
+from repro.rtl.simulator import DeltaOverflowError, Simulator
+from repro.rtl.module import Module
+from repro.rtl.vcd import VcdWriter
+
+__all__ = ["DeltaOverflowError", "Module", "Signal", "Simulator", "VcdWriter"]

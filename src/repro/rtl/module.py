@@ -1,0 +1,60 @@
+"""Structural hierarchy for RTL designs."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.rtl.signal import Signal
+from repro.rtl.simulator import Simulator
+
+
+class Module:
+    """Base class for structural RTL modules.
+
+    A module owns signals and child modules and gives them hierarchical
+    names (``top.router0.queue3.count``), so waveforms and error messages
+    identify design locations the way an HDL tool would.
+
+    Subclasses create their contents in ``__init__`` via :meth:`signal`,
+    :meth:`submodule` and :meth:`process`.
+    """
+
+    def __init__(self, sim: Simulator, name: str, parent: Optional["Module"] = None):
+        self.sim = sim
+        self.name = name
+        self.parent = parent
+        self.path = name if parent is None else f"{parent.path}.{name}"
+        self.children: List[Module] = []
+        self._signals: Dict[str, Signal] = {}
+        if parent is not None:
+            parent.children.append(self)
+
+    # -- construction ---------------------------------------------------------
+    def signal(self, name: str, width: int, reset: int = 0) -> Signal:
+        """Create a signal scoped to this module."""
+        sig = self.sim.signal(f"{self.path}.{name}", width, reset)
+        self._signals[name] = sig
+        return sig
+
+    def process(self, name: str, run, sensitivity=()) -> None:
+        """Register a process scoped to this module."""
+        self.sim.process(f"{self.path}.{name}", run, sensitivity)
+
+    # -- introspection ------------------------------------------------------
+    def local_signals(self) -> Dict[str, Signal]:
+        """Signals declared directly in this module."""
+        return dict(self._signals)
+
+    def walk(self) -> Iterator["Module"]:
+        """Depth-first traversal of this module and all descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def all_signals(self) -> Iterator[Signal]:
+        """All signals in this subtree, depth-first."""
+        for module in self.walk():
+            yield from module._signals.values()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.path!r}>"

@@ -1,0 +1,95 @@
+"""VHDL-style signals for the event-driven kernel."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from repro.bits.bitvector import BitVector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.rtl.simulator import Simulator
+
+
+class Signal:
+    """A fixed-width wire with deferred (delta-delayed) assignment.
+
+    Reading :attr:`value` always returns the value as of the *current*
+    delta cycle.  :meth:`assign` schedules a new value that becomes
+    visible in the next delta cycle — the defining property of the
+    two-level timing model: within one delta, every process observes the
+    same consistent snapshot.
+    """
+
+    __slots__ = (
+        "name",
+        "width",
+        "_value",
+        "_pending",
+        "_sim",
+        "_watchers",
+        "last_change_time",
+    )
+
+    def __init__(self, sim: "Simulator", name: str, width: int, reset: int = 0) -> None:
+        self.name = name
+        self.width = width
+        self._value = BitVector(width, reset)
+        self._pending: Optional[BitVector] = None
+        self._sim = sim
+        self._watchers: List[Callable[["Signal"], None]] = []
+        self.last_change_time: int = -1
+        sim._register_signal(self)
+
+    # -- reading ---------------------------------------------------------
+    @property
+    def value(self) -> BitVector:
+        """Current value (as of this delta cycle)."""
+        return self._value
+
+    @property
+    def uint(self) -> int:
+        """Current value as an unsigned int (convenience accessor)."""
+        return self._value.value
+
+    def __bool__(self) -> bool:
+        return bool(self._value)
+
+    def __repr__(self) -> str:
+        return f"Signal({self.name!r}, width={self.width}, value=0x{self._value.value:x})"
+
+    # -- writing ----------------------------------------------------------
+    def assign(self, value: int | BitVector) -> None:
+        """Schedule ``value`` to appear on the signal in the next delta."""
+        if isinstance(value, BitVector):
+            if value.width != self.width:
+                raise ValueError(
+                    f"signal {self.name!r}: width {value.width} != {self.width}"
+                )
+            new = value
+        else:
+            new = BitVector(self.width, value)
+        # Last assignment in a delta wins (VHDL: one driver per signal, the
+        # projected waveform is overwritten).
+        self._pending = new
+        self._sim._schedule_update(self)
+
+    # -- kernel interface ----------------------------------------------------
+    def _commit(self, now: int) -> bool:
+        """Apply the pending value; return True when the value changed."""
+        if self._pending is None:
+            return False
+        new = self._pending
+        self._pending = None
+        if new == self._value:
+            return False
+        self._value = new
+        self.last_change_time = now
+        return True
+
+    def watch(self, callback: Callable[["Signal"], None]) -> None:
+        """Register a callback invoked after every committed change.
+
+        Used by the VCD tracer; processes should use sensitivity lists
+        instead.
+        """
+        self._watchers.append(callback)

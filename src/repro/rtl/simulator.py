@@ -1,0 +1,174 @@
+"""The event-driven delta-cycle simulation kernel.
+
+Terminology follows the paper (section 4): a *delta cycle* is one
+evaluation step that does not advance simulated time; a *system cycle*
+(one clock tick here) consists of however many delta cycles it takes for
+the signal network to become quiescent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from repro.rtl.signal import Signal
+
+
+class DeltaOverflowError(RuntimeError):
+    """Raised when a time step does not converge (combinational loop)."""
+
+
+@dataclass
+class KernelStats:
+    """Counters describing kernel activity — the basis of the Table 3
+    "VHDL" speed measurement."""
+
+    time_steps: int = 0
+    delta_cycles: int = 0
+    process_activations: int = 0
+    signal_updates: int = 0
+
+    def reset(self) -> None:
+        self.time_steps = 0
+        self.delta_cycles = 0
+        self.process_activations = 0
+        self.signal_updates = 0
+
+
+@dataclass
+class _Process:
+    name: str
+    run: Callable[[], None]
+    sensitivity: List[Signal] = field(default_factory=list)
+
+
+class Simulator:
+    """Event-driven simulator with VHDL semantics.
+
+    Usage::
+
+        sim = Simulator()
+        clk = sim.signal("clk", 1)
+        q = sim.signal("q", 8)
+
+        def ff():
+            if clk.uint == 1:            # rising edge handled by caller
+                q.assign(q.uint + 1)
+
+        sim.process("ff", ff, sensitivity=[clk])
+        sim.initialize()
+        sim.step()                        # one time step (all deltas)
+    """
+
+    def __init__(self, max_deltas_per_step: int = 10_000) -> None:
+        self.now: int = 0
+        self.max_deltas_per_step = max_deltas_per_step
+        self.stats = KernelStats()
+        self._signals: List[Signal] = []
+        self._signal_names: Dict[str, Signal] = {}
+        self._processes: List[_Process] = []
+        self._sensitive: Dict[int, List[_Process]] = {}
+        self._update_queue: List[Signal] = []
+        self._update_set: set[int] = set()
+        self._runnable: List[_Process] = []
+        self._runnable_set: set[int] = set()
+        self._every_step: List[_Process] = []
+        self._initialized = False
+
+    # -- construction ------------------------------------------------------
+    def signal(self, name: str, width: int, reset: int = 0) -> Signal:
+        """Create and register a signal."""
+        if name in self._signal_names:
+            raise ValueError(f"duplicate signal name {name!r}")
+        return Signal(self, name, width, reset)
+
+    def _register_signal(self, sig: Signal) -> None:
+        self._signals.append(sig)
+        self._signal_names[sig.name] = sig
+
+    def process(
+        self,
+        name: str,
+        run: Callable[[], None],
+        sensitivity: Sequence[Signal] = (),
+    ) -> None:
+        """Register a process woken by changes of its ``sensitivity`` signals."""
+        proc = _Process(name, run, list(sensitivity))
+        self._processes.append(proc)
+        for sig in proc.sensitivity:
+            self._sensitive.setdefault(id(sig), []).append(proc)
+
+    def signals(self) -> Sequence[Signal]:
+        return tuple(self._signals)
+
+    def find_signal(self, name: str) -> Signal:
+        return self._signal_names[name]
+
+    # -- kernel ----------------------------------------------------------
+    def _schedule_update(self, sig: Signal) -> None:
+        if id(sig) not in self._update_set:
+            self._update_set.add(id(sig))
+            self._update_queue.append(sig)
+
+    def _wake(self, proc: _Process) -> None:
+        if id(proc) not in self._runnable_set:
+            self._runnable_set.add(id(proc))
+            self._runnable.append(proc)
+
+    def initialize(self) -> None:
+        """Run every process once (VHDL elaboration) and settle deltas."""
+        if self._initialized:
+            return
+        self._initialized = True
+        for proc in self._processes:
+            self._wake(proc)
+        self._settle()
+
+    def _settle(self) -> None:
+        """Run delta cycles until no process is runnable."""
+        deltas = 0
+        while self._runnable or self._update_queue:
+            deltas += 1
+            if deltas > self.max_deltas_per_step:
+                names = [p.name for p in self._runnable[:5]]
+                raise DeltaOverflowError(
+                    f"no convergence after {deltas - 1} delta cycles at t={self.now}; "
+                    f"still runnable: {names}"
+                )
+            self.stats.delta_cycles += 1
+            runnable, self._runnable = self._runnable, []
+            self._runnable_set.clear()
+            for proc in runnable:
+                self.stats.process_activations += 1
+                proc.run()
+            # Commit all scheduled signal updates, waking sensitive processes.
+            queue, self._update_queue = self._update_queue, []
+            self._update_set.clear()
+            for sig in queue:
+                if sig._commit(self.now):
+                    self.stats.signal_updates += 1
+                    for watcher in sig._watchers:
+                        watcher(sig)
+                    for proc in self._sensitive.get(id(sig), ()):
+                        self._wake(proc)
+
+    def step(self, ticks: int = 1) -> None:
+        """Advance simulated time by ``ticks`` steps, settling deltas each."""
+        if not self._initialized:
+            self.initialize()
+        for _ in range(ticks):
+            self.now += 1
+            self.stats.time_steps += 1
+            # Time-step boundary: wake processes sensitive to the implicit
+            # tick if they registered for it via `every_step`.
+            for proc in self._every_step:
+                self._wake(proc)
+            self._settle()
+
+    def every_step(self, name: str, run: Callable[[], None]) -> None:
+        """Register a process executed at the start of every time step.
+
+        This is how clock drivers are modelled: the testbench toggles the
+        clock signal once per step.
+        """
+        self._every_step.append(_Process(name, run))

@@ -1,0 +1,139 @@
+"""Single-banked link memory with Has-Been-Read bits (section 4.2).
+
+"For the links we have a separate memory, where every link has only a
+single memory position [...] Per memory position one additional status
+bit is stored.  This bit indicates whether the last written value Has
+Been Read (HBR) from this link."
+
+A *wire* here is one directed signal bundle with a single writer unit
+and a single reader unit (the forward flit word in one direction and the
+backward per-VC room mask in the other; see
+:meth:`repro.noc.topology.Topology.wires`).  The HBR protocol:
+
+* at the start of a system cycle every status bit is reset to 0, which
+  guarantees every unit is evaluated at least once;
+* when a unit is evaluated, every wire it *reads* gets HBR := 1;
+* when a unit writes a value different from the stored one, the value is
+  updated and HBR := 0 — so the reader is no longer stable and will be
+  re-evaluated;
+* a unit is stable when all wires it reads have HBR = 1.
+
+Values persist across system cycles (single memory position per link),
+exactly like the FPGA implementation: an early-evaluated unit therefore
+reads its neighbours' *previous-cycle* outputs until they are rewritten,
+which is what triggers the re-evaluations the paper counts as extra
+delta cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class WireSpec:
+    """Declaration of one wire when building a :class:`LinkMemory`."""
+
+    name: str
+    writer: int
+    reader: int
+    width: int
+
+
+class LinkMemory:
+    """Wire value store plus HBR bookkeeping and stability tracking."""
+
+    def __init__(self, n_units: int, wires: Sequence[WireSpec]) -> None:
+        self.n_units = n_units
+        self.specs: List[WireSpec] = list(wires)
+        self.values: List[int] = [0] * len(self.specs)
+        self.hbr: List[int] = [0] * len(self.specs)
+        self._masks: List[int] = [(1 << w.width) - 1 for w in self.specs]
+        self.reads_by_unit: List[List[int]] = [[] for _ in range(n_units)]
+        self.writes_by_unit: List[List[int]] = [[] for _ in range(n_units)]
+        self._by_name: Dict[str, int] = {}
+        for index, spec in enumerate(self.specs):
+            if not (0 <= spec.writer < n_units and 0 <= spec.reader < n_units):
+                raise ValueError(f"wire {spec.name!r}: unit index out of range")
+            if spec.name in self._by_name:
+                raise ValueError(f"duplicate wire name {spec.name!r}")
+            self._by_name[spec.name] = index
+            self.reads_by_unit[spec.reader].append(index)
+            self.writes_by_unit[spec.writer].append(index)
+        # Stability flags maintained incrementally from the HBR bits.
+        self.stable: List[bool] = [False] * n_units
+        self.value_changes = 0
+        self.wire_writes = 0
+
+    # -- lookup ------------------------------------------------------------
+    def wire_id(self, name: str) -> int:
+        return self._by_name[name]
+
+    # -- the HBR protocol ---------------------------------------------------
+    def begin_cycle(self) -> None:
+        """Reset every status bit; every unit becomes non-stable."""
+        for i in range(len(self.hbr)):
+            self.hbr[i] = 0
+        for u in range(self.n_units):
+            self.stable[u] = False
+
+    def read_inputs(self, unit: int) -> List[int]:
+        """Read all wires ``unit`` samples (marks them as read)."""
+        out = []
+        for wid in self.reads_by_unit[unit]:
+            self.hbr[wid] = 1
+            out.append(self.values[wid])
+        return out
+
+    def write_outputs(self, unit: int, values: Sequence[int]) -> List[int]:
+        """Write all wires ``unit`` drives; returns readers invalidated.
+
+        A write only touches the HBR bit when the value actually changed
+        ("if the router writes a value to a link, which is not equal to
+        the current value in the memory, it will reset this link's status
+        bit to zero").
+        """
+        invalidated: List[int] = []
+        wire_ids = self.writes_by_unit[unit]
+        if len(values) != len(wire_ids):
+            raise ValueError(
+                f"unit {unit} drives {len(wire_ids)} wires, got {len(values)} values"
+            )
+        for wid, value in zip(wire_ids, values):
+            self.wire_writes += 1
+            if value & ~self._masks[wid]:
+                raise ValueError(f"wire {self.specs[wid].name!r}: value too wide")
+            if value != self.values[wid]:
+                self.values[wid] = value
+                self.value_changes += 1
+                if self.hbr[wid] == 1:
+                    # The reader consumed the stale value: force re-evaluation.
+                    reader = self.specs[wid].reader
+                    if self.stable[reader]:
+                        self.stable[reader] = False
+                        invalidated.append(reader)
+                self.hbr[wid] = 0
+        return invalidated
+
+    def mark_stable(self, unit: int) -> None:
+        self.stable[unit] = True
+
+    def is_stable(self, unit: int) -> bool:
+        return self.stable[unit]
+
+    def all_stable(self) -> bool:
+        return all(self.stable)
+
+    def unit_hbr_group(self, unit: int) -> Tuple[int, ...]:
+        """The HBR bits of the wires ``unit`` reads (debug/Fig. 5 checks)."""
+        return tuple(self.hbr[wid] for wid in self.reads_by_unit[unit])
+
+    def value_of(self, name: str) -> int:
+        return self.values[self._by_name[name]]
+
+    # -- sizing (feeds the Table-2 resource model) ----------------------------
+    @property
+    def total_bits(self) -> int:
+        """Value bits plus one HBR bit per wire."""
+        return sum(w.width + 1 for w in self.specs)

@@ -1,0 +1,39 @@
+"""Round-robin scheduling of non-stable units (section 4.2).
+
+"A simple round-robin scheduler will decide which non-stable router has
+to be evaluated.  If all routers are stable the network is considered to
+be completely evaluated and ready for the next system cycle."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.seqsim.linkmem import LinkMemory
+
+
+class RoundRobinScheduler:
+    """Scans unit indices circularly, returning the next non-stable one.
+
+    The scan pointer persists across system cycles, mirroring a hardware
+    counter that simply keeps rotating.
+    """
+
+    def __init__(self, n_units: int) -> None:
+        if n_units < 1:
+            raise ValueError("need at least one unit")
+        self.n_units = n_units
+        self._pointer = n_units - 1  # first pick is unit 0
+
+    def next_unit(self, links: LinkMemory) -> Optional[int]:
+        """Index of the next non-stable unit, or None when all stable."""
+        for offset in range(1, self.n_units + 1):
+            unit = (self._pointer + offset) % self.n_units
+            if not links.is_stable(unit):
+                self._pointer = unit
+                return unit
+        return None
+
+    @property
+    def pointer(self) -> int:
+        return self._pointer

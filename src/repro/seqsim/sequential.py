@@ -1,0 +1,393 @@
+"""The FPGA sequential simulator, instantiated for the NoC.
+
+:class:`SequentialNetwork` is a drop-in replacement for
+:class:`repro.noc.Network` whose :meth:`step` advances the system the way
+the paper's FPGA does (sections 4.2/5.2):
+
+* the committed ("old") register state of every router+stimuli-interface
+  unit lives in a double-banked state memory — optionally as genuinely
+  packed 1912-bit words (``packed=True``), exercising the Table-1 layout
+  on every access;
+* inter-router wires live in a single-banked link memory with HBR bits;
+* a round-robin scheduler evaluates non-stable units until the network
+  settles, counting delta cycles;
+* the banks swap and the system cycle ends.
+
+Results are bit-identical to the golden :meth:`Network.step` — the
+equivalence tests drive both in lockstep.
+
+:class:`StaticSequentialNetwork` is the static-schedule ablation: no HBR
+machinery, every unit evaluated in a fixed order once per phase
+(rooms, forwards, state updates — 3·R delta cycles per system cycle).
+It shows why the paper's dynamic schedule is worth its hardware: at low
+load the HBR scheme approaches R deltas per cycle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.bits import BitVector, concat
+from repro.noc.config import NetworkConfig, Port
+from repro.noc.layout import (
+    pack_router_core,
+    pack_stimuli,
+    unpack_router_core,
+    unpack_stimuli,
+)
+from repro.noc.network import Network, StimuliEvents
+from repro.noc.router import RouterInputs
+from repro.noc.routing import RoutingTable
+from repro.seqsim.linkmem import LinkMemory, WireSpec
+from repro.seqsim.metrics import DeltaMetrics
+from repro.seqsim.scheduler import RoundRobinScheduler
+from repro.seqsim.statemem import PackedStateMemory
+
+
+class ConvergenceError(RuntimeError):
+    """A system cycle failed to settle (should be impossible for the NoC,
+    whose wire dependencies are acyclic: state -> room -> forward)."""
+
+
+class SequentialNetwork(Network):
+    """Dynamic-schedule sequential simulator (the paper's method)."""
+
+    #: safety net: deltas per system cycle may never exceed this multiple
+    #: of the unit count (the NoC needs < 3x).
+    MAX_DELTA_FACTOR = 10
+
+    def __init__(
+        self,
+        cfg: NetworkConfig,
+        routing: Optional[RoutingTable] = None,
+        packed: bool = False,
+    ) -> None:
+        super().__init__(cfg, routing)
+        self.packed = packed
+        rc = cfg.router
+        n = cfg.n_routers
+        self._sink = (1 << rc.n_vcs) - 1
+        self.metrics = DeltaMetrics(n_units=n)
+        self.scheduler = RoundRobinScheduler(n)
+
+        # -- link memory ---------------------------------------------------
+        # Per unit, per non-local port: an incoming forward wire and an
+        # incoming room wire (and symmetric outgoing ones owned by the
+        # neighbours).  Build them in (unit, port, kind) order so the wire
+        # lists per unit have a deterministic layout.
+        specs: List[WireSpec] = []
+        self._in_fwd_wire: List[List[int]] = [[-1] * rc.n_ports for _ in range(n)]
+        self._in_room_wire: List[List[int]] = [[-1] * rc.n_ports for _ in range(n)]
+        self._out_fwd_wire: List[List[int]] = [[-1] * rc.n_ports for _ in range(n)]
+        self._out_room_wire: List[List[int]] = [[-1] * rc.n_ports for _ in range(n)]
+        wid = 0
+        for r in range(n):
+            for p in range(1, rc.n_ports):
+                nb = self._neighbor_cache[r][p]
+                if nb is None:
+                    continue
+                opposite = int(Port(p).opposite)
+                # Forward wire: written by r at output p, read by nb.
+                specs.append(WireSpec(f"fwd:{r}.{p}", writer=r, reader=nb, width=rc.link_width))
+                self._out_fwd_wire[r][p] = wid
+                self._in_fwd_wire[nb][opposite] = wid
+                wid += 1
+                # Room wire: written by r for its input port p, read by nb
+                # (who sees it at its output port `opposite`).
+                specs.append(WireSpec(f"room:{r}.{p}", writer=r, reader=nb, width=rc.n_vcs))
+                self._out_room_wire[r][p] = wid
+                self._in_room_wire[nb][opposite] = wid
+                wid += 1
+        self.links = LinkMemory(n, specs)
+        # Reset-consistent wire values: empty queues offer full room.
+        for r in range(n):
+            for p in range(1, rc.n_ports):
+                w = self._out_room_wire[r][p]
+                if w >= 0:
+                    self.links.values[w] = self._sink
+
+        # -- state memory ------------------------------------------------------
+        self._events: List[Optional[StimuliEvents]] = [None] * n
+        self._next_states = list(self.states)
+        self._next_iface = list(self.iface_states)
+        if packed:
+            # Per-router core widths differ in heterogeneous networks
+            # (different queue depths); the memory is as wide as the
+            # widest unit, exactly like the FPGA's provisioned word.
+            stim = pack_stimuli(rc, self.iface_states[0])
+            self._stim_width = stim.width
+            self._core_widths = [
+                pack_router_core(cfg.router_at(r), self.states[r]).width
+                for r in range(n)
+            ]
+            self._word_width = max(self._core_widths) + self._stim_width
+            self.statemem = PackedStateMemory(n, self._word_width)
+            for r in range(n):
+                self.statemem.initialize(r, self._pack_unit(r))
+        else:
+            self.statemem = None
+
+    # -- packed-mode plumbing ---------------------------------------------------
+    def _pack_unit(self, r: int) -> int:
+        rc = self.cfg.router_at(r)
+        word = concat(
+            pack_router_core(rc, self.states[r]), pack_stimuli(rc, self.iface_states[r])
+        )
+        return word.value
+
+    def _unpack_unit(self, r: int, word: int):
+        rc = self.cfg.router_at(r)
+        stim_mask = (1 << self._stim_width) - 1
+        stim = unpack_stimuli(rc, BitVector(self._stim_width, word & stim_mask))
+        core = unpack_router_core(
+            rc,
+            BitVector(self._core_widths[r], word >> self._stim_width),
+        )
+        return core, stim
+
+    def offer(self, router: int, vc: int, flit) -> bool:
+        accepted = super().offer(router, vc, flit)
+        if self.packed:
+            # The control software writes the interface register through
+            # the memory interface, into the *current* bank — including
+            # the stall flag a refused offer sets.
+            self.statemem.write_current(router, self._pack_unit(router))
+        return accepted
+
+    # -- one unit evaluation = one delta cycle -------------------------------
+    def _evaluate_unit(self, r: int) -> None:
+        rc = self.cfg.router
+        n_ports = rc.n_ports
+        links = self.links
+
+        if self.packed:
+            state, iface_state = self._unpack_unit(r, self.statemem.read(r))
+        else:
+            state = self.states[r]
+            iface_state = self.iface_states[r]
+
+        # Read phase: sample every wire this unit reads (sets HBR bits).
+        fwd_in = [0] * n_ports
+        room_in = [0] * n_ports
+        room_in[Port.LOCAL] = self._sink
+        in_fwd = self._in_fwd_wire[r]
+        in_room = self._in_room_wire[r]
+        for p in range(1, n_ports):
+            w = in_fwd[p]
+            if w >= 0:
+                links.hbr[w] = 1
+                fwd_in[p] = links.values[w]
+            w = in_room[p]
+            if w >= 0:
+                links.hbr[w] = 1
+                room_in[p] = links.values[w]
+
+        # Quiescence fast path: nothing buffered, nothing arriving,
+        # nothing to inject or eject -> the unit's outputs are idle and
+        # its state is unchanged.  This is an optimisation of the model
+        # evaluation only; the delta cycle is still counted by the caller.
+        if (
+            state.is_quiescent
+            and not any(iface_state.inj_valid)
+            and iface_state.eject_valid == 0
+            and all(w == 0 for w in fwd_in)
+        ):
+            new_state, new_iface = state, iface_state
+            fwd_out_edge = [0] * n_ports
+            rooms = [self._sink] * n_ports
+            events = StimuliEvents()
+        else:
+            router = self.routers[r]
+            rooms = router.room_mask(state)
+            choice, iface_word = self.iface.output_word(
+                iface_state, rooms[Port.LOCAL]
+            )
+            fwd_in[Port.LOCAL] = iface_word
+            fwd_out_edge, grants = router.output_words(state, room_in)
+            new_state = router.next_state(
+                state, RouterInputs(fwd=fwd_in, room=room_in), grants, strict=False
+            )
+            new_iface, events = self.iface.next_state(
+                iface_state, choice, fwd_out_edge[Port.LOCAL]
+            )
+
+        # Write phase: drive every wire this unit owns; changed values
+        # clear HBR bits and de-stabilise their readers.
+        out_fwd = self._out_fwd_wire[r]
+        out_room = self._out_room_wire[r]
+        for p in range(1, n_ports):
+            w = out_fwd[p]
+            if w >= 0:
+                self._write_wire(w, fwd_out_edge[p])
+            w = out_room[p]
+            if w >= 0:
+                self._write_wire(w, rooms[p])
+
+        # Store next state into the other bank.
+        if self.packed:
+            rc_ = self.cfg.router_at(r)
+            word = concat(
+                pack_router_core(rc_, new_state), pack_stimuli(rc_, new_iface)
+            )
+            self.statemem.write(r, word.value)
+        self._next_states[r] = new_state
+        self._next_iface[r] = new_iface
+        self._events[r] = events
+        links.mark_stable(r)
+
+    def _write_wire(self, wid: int, value: int) -> None:
+        links = self.links
+        links.wire_writes += 1
+        if value != links.values[wid]:
+            links.values[wid] = value
+            links.value_changes += 1
+            reader = links.specs[wid].reader
+            if links.hbr[wid] == 1 and links.stable[reader]:
+                links.stable[reader] = False
+            links.hbr[wid] = 0
+
+    # -- the system cycle -------------------------------------------------------
+    def step(self) -> None:
+        n = self.cfg.n_routers
+        links = self.links
+        links.begin_cycle()
+        self._events = [None] * n
+        deltas = 0
+        limit = n * self.MAX_DELTA_FACTOR
+        scheduler = self.scheduler
+        while True:
+            unit = scheduler.next_unit(links)
+            if unit is None:
+                break
+            self._evaluate_unit(unit)
+            deltas += 1
+            if deltas > limit:
+                raise ConvergenceError(
+                    f"cycle {self.cycle}: {deltas} deltas without settling"
+                )
+        self._commit(deltas)
+
+    def _commit(self, deltas: int) -> None:
+        n = self.cfg.n_routers
+        self.states, self._next_states = self._next_states, list(self._next_states)
+        self.iface_states, self._next_iface = self._next_iface, list(self._next_iface)
+        if self.packed:
+            self.statemem.swap()
+        for r in range(n):
+            events = self._events[r]
+            if events is not None:
+                self._record(r, events)
+        self.metrics.record_cycle(deltas)
+        self.cycle += 1
+
+
+class StaticSequentialNetwork(SequentialNetwork):
+    """Static-schedule ablation: rooms, forwards, then state updates, each
+    a full fixed-order sweep (3·R deltas per system cycle, no HBR logic).
+
+    This is what section 4.1's method degenerates to when applied to a
+    design with combinatorial boundaries by brute force; comparing its
+    delta counts with the dynamic scheduler quantifies the benefit of the
+    HBR mechanism.
+    """
+
+    def step(self) -> None:
+        n = self.cfg.n_routers
+        rc = self.cfg.router
+        links = self.links
+        self._events = [None] * n
+        deltas = 0
+
+        # Phase A: every unit publishes its room wires (state-only).
+        for r in range(n):
+            state = self._state_of(r)
+            rooms = self.routers[r].room_mask(state)
+            for p in range(1, rc.n_ports):
+                w = self._out_room_wire[r][p]
+                if w >= 0:
+                    self._write_wire(w, rooms[p])
+            deltas += 1
+
+        # Phase B: every unit publishes its forward wires.
+        fwd_cache: List[List[int]] = [[] for _ in range(n)]
+        choice_cache: List[int] = [0] * n
+        for r in range(n):
+            state = self._state_of(r)
+            iface_state = self._iface_of(r)
+            rooms = self.routers[r].room_mask(state)
+            room_in = self._gather_room(r)
+            choice, _word = self.iface.output_word(iface_state, rooms[Port.LOCAL])
+            fwd_out, _grants = self.routers[r].output_words(state, room_in)
+            fwd_cache[r] = fwd_out
+            choice_cache[r] = choice
+            for p in range(1, rc.n_ports):
+                w = self._out_fwd_wire[r][p]
+                if w >= 0:
+                    self._write_wire(w, fwd_out[p])
+            deltas += 1
+
+        # Phase C: every unit commits its next state.
+        for r in range(n):
+            state = self._state_of(r)
+            iface_state = self._iface_of(r)
+            rooms = self.routers[r].room_mask(state)
+            room_in = self._gather_room(r)
+            fwd_in = self._gather_fwd(r)
+            choice, iface_word = self.iface.output_word(
+                iface_state, rooms[Port.LOCAL]
+            )
+            fwd_in[Port.LOCAL] = iface_word
+            new_state = self.routers[r].next_state(
+                state, RouterInputs(fwd=fwd_in, room=room_in), grants=None
+            )
+            new_iface, events = self.iface.next_state(
+                iface_state, choice, fwd_cache[r][Port.LOCAL]
+            )
+            if self.packed:
+                rc_r = self.cfg.router_at(r)
+                word = concat(
+                    pack_router_core(rc_r, new_state), pack_stimuli(rc_r, new_iface)
+                )
+                self.statemem.write(r, word.value)
+            self._next_states[r] = new_state
+            self._next_iface[r] = new_iface
+            self._events[r] = events
+            deltas += 1
+
+        self._commit(deltas)
+
+    # -- helpers ----------------------------------------------------------
+    def _state_of(self, r: int):
+        if self.packed:
+            state, _ = self._unpack_unit(r, self.statemem.read(r))
+            return state
+        return self.states[r]
+
+    def _iface_of(self, r: int):
+        if self.packed:
+            _, iface = self._unpack_unit(r, self.statemem.read(r))
+            return iface
+        return self.iface_states[r]
+
+    def _gather_room(self, r: int) -> List[int]:
+        rc = self.cfg.router
+        room_in = [0] * rc.n_ports
+        room_in[Port.LOCAL] = self._sink
+        for p in range(1, rc.n_ports):
+            w = self._in_room_wire[r][p]
+            if w >= 0:
+                room_in[p] = self.links.values[w]
+        return room_in
+
+    def _gather_fwd(self, r: int) -> List[int]:
+        rc = self.cfg.router
+        fwd_in = [0] * rc.n_ports
+        for p in range(1, rc.n_ports):
+            w = self._in_fwd_wire[r][p]
+            if w >= 0:
+                fwd_in[p] = self.links.values[w]
+        return fwd_in
+
+
+# Backwards-compatible alias used in early design notes.
+TwoPassSequentialNetwork = StaticSequentialNetwork

@@ -1,0 +1,91 @@
+"""Double-banked packed state memory (paper Fig. 2b, section 4.1).
+
+"In the memory, both the old and new version of the register values are
+stored [...] this copy action is performed by switching the offset
+pointer of the current state and new state."
+
+Addresses are unit indices (one router per address — "the address of the
+memory corresponds to the router that is evaluated", section 5.2); each
+position holds the packed register word.  Reads come from the current
+bank, writes go to the next bank, and :meth:`swap` flips the offset
+pointer at the end of every system cycle.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class PackedStateMemory:
+    """``depth`` words of ``width`` bits, double banked."""
+
+    def __init__(self, depth: int, width: int) -> None:
+        if depth < 1 or width < 1:
+            raise ValueError("depth and width must be positive")
+        self.depth = depth
+        self.width = width
+        self._mask = (1 << width) - 1
+        # One flat array of 2*depth words; `offset` selects the current bank.
+        self._mem: List[int] = [0] * (2 * depth)
+        self._offset = 0
+        self.reads = 0
+        self.writes = 0
+        self.swaps = 0
+
+    # -- addressing ---------------------------------------------------------
+    def _check(self, address: int) -> None:
+        if not 0 <= address < self.depth:
+            raise IndexError(f"address {address} out of range (depth {self.depth})")
+
+    @property
+    def current_bank(self) -> int:
+        """0 or 1: which half of the memory holds the current state."""
+        return self._offset // self.depth
+
+    # -- access ---------------------------------------------------------------
+    def read(self, address: int) -> int:
+        """Read the *current* state word of a unit."""
+        self._check(address)
+        self.reads += 1
+        return self._mem[self._offset + address]
+
+    def write(self, address: int, word: int) -> None:
+        """Write a unit's *next* state word (into the other bank)."""
+        self._check(address)
+        if word & ~self._mask:
+            raise ValueError(f"word wider than {self.width} bits")
+        self.writes += 1
+        self._mem[(self._offset ^ self.depth) + address] = word
+
+    def write_current(self, address: int, word: int) -> None:
+        """Write into the *current* bank.
+
+        Used between system cycles only — e.g. when the control software
+        loads fresh stimuli into an interface register, which in the FPGA
+        happens through the memory interface while the simulation is
+        paused between periods.
+        """
+        self._check(address)
+        if word & ~self._mask:
+            raise ValueError(f"word wider than {self.width} bits")
+        self.writes += 1
+        self._mem[self._offset + address] = word
+
+    def swap(self) -> None:
+        """Flip the offset pointer: the next state becomes current."""
+        self._offset ^= self.depth
+        self.swaps += 1
+
+    def initialize(self, address: int, word: int) -> None:
+        """Set both banks of a unit (reset state)."""
+        self._check(address)
+        if word & ~self._mask:
+            raise ValueError(f"word wider than {self.width} bits")
+        self._mem[address] = word
+        self._mem[self.depth + address] = word
+
+    # -- sizing (feeds the Table-2 resource model) ------------------------------
+    @property
+    def total_bits(self) -> int:
+        """Storage the memory occupies: 2 banks x depth x width."""
+        return 2 * self.depth * self.width

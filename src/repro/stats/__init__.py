@@ -1,0 +1,29 @@
+"""Result analysis: the "analyze results and store statistics" step of
+the paper's simulation loop (section 5.3, step 5).
+
+* :mod:`repro.stats.latency` — per-class packet latency (the Fig. 1
+  quantities: GT mean/max, BE mean, and the analytic GT guarantee).
+* :mod:`repro.stats.throughput` — accepted load and link utilisation.
+* :mod:`repro.stats.histogram` — distribution summaries.
+"""
+
+from repro.stats.latency import (
+    LatencySample,
+    LatencyStats,
+    PacketLatencyTracker,
+    gt_guarantee_bound,
+)
+from repro.stats.throughput import ThroughputStats
+from repro.stats.histogram import Histogram
+from repro.stats.energy import EnergyCoefficients, EnergyProbe
+
+__all__ = [
+    "EnergyCoefficients",
+    "EnergyProbe",
+    "Histogram",
+    "LatencySample",
+    "LatencyStats",
+    "PacketLatencyTracker",
+    "ThroughputStats",
+    "gt_guarantee_bound",
+]

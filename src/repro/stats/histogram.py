@@ -1,0 +1,65 @@
+"""Small fixed-bin histogram used by the analysis step."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+class Histogram:
+    """Histogram over non-negative integer observations (e.g. latencies)."""
+
+    def __init__(self, bin_width: int = 10) -> None:
+        if bin_width < 1:
+            raise ValueError("bin width must be positive")
+        self.bin_width = bin_width
+        self._counts: List[int] = []
+        self.total = 0
+
+    def add(self, value: int) -> None:
+        if value < 0:
+            raise ValueError("observations must be non-negative")
+        index = value // self.bin_width
+        if index >= len(self._counts):
+            self._counts.extend([0] * (index + 1 - len(self._counts)))
+        self._counts[index] += 1
+        self.total += 1
+
+    def extend(self, values: Iterable[int]) -> None:
+        for value in values:
+            self.add(value)
+
+    def bins(self) -> Sequence[Tuple[int, int, int]]:
+        """(lo, hi, count) per non-empty bin."""
+        return tuple(
+            (i * self.bin_width, (i + 1) * self.bin_width, c)
+            for i, c in enumerate(self._counts)
+            if c
+        )
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile from bin midpoints."""
+        if not 0 <= q <= 100:
+            raise ValueError("q in [0, 100]")
+        if self.total == 0:
+            raise ValueError("empty histogram")
+        midpoints = []
+        weights = []
+        for i, count in enumerate(self._counts):
+            if count:
+                midpoints.append((i + 0.5) * self.bin_width)
+                weights.append(count)
+        expanded = np.repeat(midpoints, weights)
+        return float(np.percentile(expanded, q))
+
+    def render(self, width: int = 40) -> str:
+        """ASCII rendering for terminal reports."""
+        if self.total == 0:
+            return "(empty)"
+        peak = max(self._counts)
+        lines = []
+        for lo, hi, count in self.bins():
+            bar = "#" * max(1, round(count / peak * width))
+            lines.append(f"[{lo:6d},{hi:6d}) {count:7d} {bar}")
+        return "\n".join(lines)

@@ -1,0 +1,180 @@
+"""Packet latency measurement and the analytic GT guarantee.
+
+Latency definitions (Figure 1 plots the *total* latency):
+
+* **total latency** — from the cycle the packet was handed to the
+  stimuli buffers to the cycle its TAIL flit left the network.  This
+  includes the source access delay, which is the quantity that explodes
+  when the network saturates.
+* **network latency** — from the cycle the HEAD flit entered the source
+  router to the TAIL ejection.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.noc.config import NetworkConfig, RouterConfig
+from repro.noc.flit import Flit, FlitType
+from repro.noc.packet import PacketClass, Reassembler, flits_per_packet
+from repro.noc.topology import Topology
+from repro.traffic.stimuli import SubmitRecord
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """One delivered packet's timing."""
+
+    pclass: PacketClass
+    src: int
+    dest: int
+    hops: int
+    submit_cycle: int
+    head_inject_cycle: Optional[int]
+    head_eject_cycle: int
+    tail_eject_cycle: int
+
+    @property
+    def total_latency(self) -> int:
+        return self.tail_eject_cycle - self.submit_cycle
+
+    @property
+    def network_latency(self) -> Optional[int]:
+        if self.head_inject_cycle is None:
+            return None
+        return self.tail_eject_cycle - self.head_inject_cycle
+
+
+@dataclass
+class LatencyStats:
+    """Aggregate over one traffic class."""
+
+    count: int
+    mean: float
+    maximum: int
+    minimum: int
+    p50: float
+    p99: float
+
+    @staticmethod
+    def from_samples(latencies: List[int]) -> Optional["LatencyStats"]:
+        if not latencies:
+            return None
+        arr = np.asarray(latencies, dtype=np.int64)
+        return LatencyStats(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            maximum=int(arr.max()),
+            minimum=int(arr.min()),
+            p50=float(np.percentile(arr, 50)),
+            p99=float(np.percentile(arr, 99)),
+        )
+
+
+class PacketLatencyTracker:
+    """Matches engine ejection logs against submit records.
+
+    Matching key is ``(src, seq)``; sequence numbers wrap at 256, so
+    outstanding submits are matched FIFO per key — correct because a
+    single (source, VC) stream delivers in order.
+    """
+
+    def __init__(self, net: NetworkConfig) -> None:
+        self.net = net
+        self.topology = Topology(net)
+        self.sinks = [Reassembler(net) for _ in range(net.n_routers)]
+        self.samples: List[LatencySample] = []
+        self._pending: Dict[Tuple[int, int], Deque[SubmitRecord]] = {}
+        self._head_eject: Dict[Tuple[int, int], int] = {}  # (router, vc) -> cycle
+        self._head_inject: Dict[Tuple[int, int], Deque[int]] = {}
+        self._ej_seen = 0
+        self._inj_seen = 0
+
+    def note_submit(self, record: SubmitRecord) -> None:
+        key = (record.packet.src, record.packet.seq)
+        self._pending.setdefault(key, deque()).append(record)
+
+    def collect(self, engine) -> None:
+        """Process new injection/ejection records from the engine."""
+        data_width = self.net.router.data_width
+        injections = engine.injections
+        for record in injections[self._inj_seen :]:
+            if (record.flit_word >> data_width) & 3 == FlitType.HEAD:
+                self._head_inject.setdefault(
+                    (record.router, record.vc), deque()
+                ).append(record.cycle)
+        self._inj_seen = len(injections)
+
+        ejections = engine.ejections
+        for record in ejections[self._ej_seen :]:
+            flit = Flit.decode(record.flit_word, data_width)
+            if flit.ftype == FlitType.HEAD:
+                self._head_eject[(record.router, record.vc)] = record.cycle
+            packet = self.sinks[record.router].push(record.vc, flit, record.cycle)
+            if packet is not None:
+                self._finish(packet, record.router, record.vc, record.cycle)
+        self._ej_seen = len(ejections)
+
+    def _finish(self, packet, router: int, vc: int, tail_cycle: int) -> None:
+        key = (packet.src, packet.seq)
+        submits = self._pending.get(key)
+        if not submits:
+            raise RuntimeError(f"delivered packet with no submit record: {key}")
+        submit = submits.popleft()
+        inject_queue = self._head_inject.get((packet.src, submit.vc))
+        head_inject = inject_queue.popleft() if inject_queue else None
+        self.samples.append(
+            LatencySample(
+                pclass=packet.pclass,
+                src=packet.src,
+                dest=router,
+                hops=self.topology.hops(packet.src, router),
+                submit_cycle=submit.submit_cycle,
+                head_inject_cycle=head_inject,
+                head_eject_cycle=self._head_eject[(router, vc)],
+                tail_eject_cycle=tail_cycle,
+            )
+        )
+
+    # -- aggregation ----------------------------------------------------------
+    def stats(
+        self, pclass: Optional[PacketClass] = None, network: bool = False
+    ) -> Optional[LatencyStats]:
+        values = []
+        for sample in self.samples:
+            if pclass is not None and sample.pclass is not pclass:
+                continue
+            value = sample.network_latency if network else sample.total_latency
+            if value is not None:
+                values.append(value)
+        return LatencyStats.from_samples(values)
+
+    def delivered(self, pclass: Optional[PacketClass] = None) -> int:
+        if pclass is None:
+            return len(self.samples)
+        return sum(1 for s in self.samples if s.pclass is pclass)
+
+
+def gt_guarantee_bound(
+    cfg: RouterConfig, payload_bytes: int, hops: int
+) -> int:
+    """Analytic worst-case latency of a GT packet (the "Guarantee" line
+    of Figure 1).
+
+    Derivation: on every link at most ``n_vcs`` output VCs can be
+    allocated, and the output arbiter is round-robin, so a GT queue with
+    a flit and downstream room is served at least once every ``n_vcs``
+    cycles.  A hop additionally costs one allocation cycle and one
+    transfer cycle for the head.  Hence
+
+    * head reaches the sink after at most ``(hops + 1) * (1 + n_vcs)``
+      cycles,
+    * the remaining ``L - 1`` flits drain at worst one per ``n_vcs``
+      cycles.
+    """
+    n_flits = flits_per_packet(payload_bytes, cfg.data_width)
+    return (hops + 1) * (1 + cfg.n_vcs) + (n_flits - 1) * cfg.n_vcs

@@ -1,0 +1,71 @@
+"""Throughput and utilisation accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.noc.config import NetworkConfig
+
+
+@dataclass
+class ThroughputStats:
+    """Accepted/delivered traffic volumes over a run."""
+
+    cycles: int
+    flits_injected: int
+    flits_ejected: int
+    n_routers: int
+
+    @staticmethod
+    def from_engine(engine) -> "ThroughputStats":
+        return ThroughputStats(
+            cycles=engine.cycle,
+            flits_injected=len(engine.injections),
+            flits_ejected=len(engine.ejections),
+            n_routers=engine.cfg.n_routers,
+        )
+
+    @property
+    def accepted_load(self) -> float:
+        """Injected flits per cycle per node (fraction of capacity)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.flits_injected / (self.cycles * self.n_routers)
+
+    @property
+    def delivered_load(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.flits_ejected / (self.cycles * self.n_routers)
+
+    @property
+    def in_flight(self) -> int:
+        return self.flits_injected - self.flits_ejected
+
+
+def per_class_flit_counts(engine) -> Dict[str, int]:
+    """Ejected flit counts split by packet class.
+
+    Class is recovered from the VC label: GT rides GT-capable VCs, BE the
+    rest (the configuration invariant the routers enforce).
+    """
+    cfg: NetworkConfig = engine.cfg
+    gt_vcs = cfg.router.gt_vcs
+    counts = {"GT": 0, "BE": 0}
+    for record in engine.ejections:
+        counts["GT" if record.vc in gt_vcs else "BE"] += 1
+    return counts
+
+
+def access_delay_stats(engine) -> Optional[Dict[str, float]]:
+    """Summary of the per-flit source access delays (the quantity the
+    paper's second extra log buffer records)."""
+    delays = [r.access_delay for r in engine.injections]
+    if not delays:
+        return None
+    return {
+        "count": float(len(delays)),
+        "mean": sum(delays) / len(delays),
+        "max": float(max(delays)),
+    }

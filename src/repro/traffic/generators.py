@@ -1,0 +1,204 @@
+"""Destination patterns and packet-level traffic generators.
+
+Loads follow the paper's Figure 1 convention: best-effort load is quoted
+per processing element as a *fraction of channel capacity*, where the
+channel capacity is one flit per cycle.  A BE load of 0.1 means each
+node injects on average 0.1 flits per cycle, i.e. one 7-flit BE packet
+every 70 cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.noc.config import NetworkConfig
+from repro.noc.packet import (
+    BE_PAYLOAD_BYTES,
+    GT_PAYLOAD_BYTES,
+    Packet,
+    PacketClass,
+    flits_per_packet,
+)
+from repro.noc.reservation import GtReservationTable, GtStream
+from repro.traffic.rng import HardwareLfsr
+
+DestinationPattern = Callable[[int, object], int]
+"""Maps (source index, rng) -> destination index."""
+
+
+def uniform_random(net: NetworkConfig) -> DestinationPattern:
+    """Uniformly random destination, excluding the source itself."""
+
+    def pick(src: int, rng) -> int:
+        dest = rng.next_below(net.n_routers - 1)
+        return dest if dest < src else dest + 1
+
+    return pick
+
+
+def transpose(net: NetworkConfig) -> DestinationPattern:
+    """(x, y) -> (y, x); classic adversarial pattern for XY routing.
+
+    Requires a square network; diagonal nodes send to themselves'
+    transpose which is themselves, so they fall back to a fixed offset.
+    """
+    if net.width != net.height:
+        raise ValueError("transpose needs a square network")
+
+    def pick(src: int, rng) -> int:
+        x, y = net.coords(src)
+        dest = net.index(y, x)
+        if dest == src:
+            dest = net.index((y + 1) % net.width, x)
+        return dest
+
+    return pick
+
+
+def bit_complement(net: NetworkConfig) -> DestinationPattern:
+    """(x, y) -> (W-1-x, H-1-y)."""
+
+    def pick(src: int, rng) -> int:
+        x, y = net.coords(src)
+        dest = net.index(net.width - 1 - x, net.height - 1 - y)
+        if dest == src:
+            dest = (src + 1) % net.n_routers
+        return dest
+
+    return pick
+
+
+def hotspot(net: NetworkConfig, target: int, fraction: float = 0.5) -> DestinationPattern:
+    """With probability ``fraction`` send to ``target``, else uniform."""
+    base = uniform_random(net)
+
+    def pick(src: int, rng) -> int:
+        if src != target and rng.bernoulli(fraction):
+            return target
+        return base(src, rng)
+
+    return pick
+
+
+def neighbor_shift(net: NetworkConfig, dx: int = 1, dy: int = 0) -> DestinationPattern:
+    """(x, y) -> (x+dx, y+dy) with wrap-around — the link-disjoint GT
+    pattern used in the Fig. 1 reproduction."""
+
+    def pick(src: int, rng) -> int:
+        x, y = net.coords(src)
+        return net.index((x + dx) % net.width, (y + dy) % net.height)
+
+    return pick
+
+
+@dataclass
+class BernoulliBeTraffic:
+    """Best-effort load: per node, per cycle, a BE packet is generated
+    with probability ``load / flits_per_packet``.
+
+    ``load`` is the Fig. 1 x-axis: offered flits per cycle per node as a
+    fraction of channel capacity.
+    """
+
+    net: NetworkConfig
+    load: float
+    pattern: DestinationPattern
+    payload_bytes: int = BE_PAYLOAD_BYTES
+    seed: int = 0x1234_5678
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.load <= 1.0:
+            raise ValueError("load is a fraction of channel capacity")
+        self.rng = HardwareLfsr(self.seed)
+        self.packet_probability = self.load / flits_per_packet(
+            self.payload_bytes, self.net.router.data_width
+        )
+        self._seq = [0] * self.net.n_routers
+
+    def packets_for_cycle(self, cycle: int) -> List[Packet]:
+        """Packets generated network-wide in one cycle."""
+        out = []
+        for src in range(self.net.n_routers):
+            if self.packet_probability > 0 and self.rng.bernoulli(self.packet_probability):
+                seq = self._seq[src]
+                self._seq[src] = (seq + 1) & 0xFF
+                payload = bytes(
+                    (src + seq + i) % 256 for i in range(self.payload_bytes)
+                )
+                out.append(
+                    Packet(
+                        src=src,
+                        dest=self.pattern(src, self.rng),
+                        pclass=PacketClass.BE,
+                        payload=payload,
+                        tag=seq % 128,
+                        seq=seq,
+                    )
+                )
+        return out
+
+
+@dataclass
+class GtStreamTraffic:
+    """Guaranteed-throughput streams: each reserved stream emits one GT
+    packet every ``period`` cycles (phase-staggered so sources do not
+    synchronise)."""
+
+    net: NetworkConfig
+    streams: Sequence[GtStream]
+    period: int
+    payload_bytes: int = GT_PAYLOAD_BYTES
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ValueError("period must be positive")
+        self._seq = [0] * len(self.streams)
+        self._phase = [
+            (hash((s.src, s.dest)) % self.period) for s in self.streams
+        ]
+
+    @property
+    def load_per_stream(self) -> float:
+        """Offered GT flits per cycle per stream."""
+        return flits_per_packet(self.payload_bytes, self.net.router.data_width) / self.period
+
+    def packets_for_cycle(self, cycle: int) -> List[Tuple[Packet, int]]:
+        """(packet, reserved VC) pairs emitted this cycle."""
+        out = []
+        for i, stream in enumerate(self.streams):
+            if cycle % self.period == self._phase[i]:
+                seq = self._seq[i]
+                self._seq[i] = (seq + 1) & 0xFF
+                payload = bytes((seq + j) % 256 for j in range(self.payload_bytes))
+                out.append(
+                    (
+                        Packet(
+                            src=stream.src,
+                            dest=stream.dest,
+                            pclass=PacketClass.GT,
+                            payload=payload,
+                            tag=i % 128,
+                            seq=seq,
+                        ),
+                        stream.vc,
+                    )
+                )
+        return out
+
+
+def reserve_shift_streams(
+    net: NetworkConfig,
+    dx: int = 1,
+    dy: int = 0,
+    routing=None,
+) -> GtReservationTable:
+    """Reserve one GT stream per node following a neighbour shift —
+    the workload of the Fig. 1 reproduction."""
+    table = GtReservationTable(net, routing)
+    pattern = neighbor_shift(net, dx, dy)
+    for src in range(net.n_routers):
+        dest = pattern(src, None)
+        if dest != src:
+            table.reserve(src, dest)
+    return table

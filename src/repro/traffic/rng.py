@@ -1,0 +1,139 @@
+"""Random number generation for stimuli.
+
+The paper offloads random number generation to the FPGA because "reading
+a 32 bit random number from the FPGA is noticeably faster compared to
+the standard rand() function in C" — worth "an extra 50 % simulation
+speed" (section 8).  :class:`HardwareLfsr` models the FPGA block: a
+32-bit Galois LFSR (maximal-length polynomial), bit-exact and cheap to
+synthesise.  :class:`SoftwareRand` models the C ``rand()`` it replaced
+(the classic BSD linear congruential generator), so the RNG-offload
+ablation benchmark compares the real algorithms.
+"""
+
+from __future__ import annotations
+
+#: Maximal-length 32-bit Galois LFSR feedback mask (taps 32, 30, 26, 25 —
+#: polynomial 0xA3000000 reversed for right-shift form).
+GALOIS_MASK = 0xA3000000
+
+
+def _shift_once(state: int) -> int:
+    lsb = state & 1
+    state >>= 1
+    if lsb:
+        state ^= GALOIS_MASK
+    return state
+
+
+def _build_jump_tables():
+    """Byte lookup tables for jumping the LFSR 32 steps at once.
+
+    The 32-step advance is linear over GF(2), so the new state is the
+    XOR of per-byte images: precompute the image of every byte value at
+    every byte position (4 x 256 words), exactly the trick a software
+    CRC uses.  :meth:`HardwareLfsr.next_u32` stays bit-identical to 32
+    single shifts (asserted by the test suite).
+    """
+    # image of each single-bit state after 32 shifts
+    bit_image = []
+    for bit in range(32):
+        s = 1 << bit
+        for _ in range(32):
+            s = _shift_once(s)
+        bit_image.append(s)
+    tables = []
+    for byte_pos in range(4):
+        table = []
+        for value in range(256):
+            image = 0
+            for bit in range(8):
+                if (value >> bit) & 1:
+                    image ^= bit_image[byte_pos * 8 + bit]
+            table.append(image)
+        tables.append(tuple(table))
+    return tuple(tables)
+
+
+_JUMP = _build_jump_tables()
+
+
+class HardwareLfsr:
+    """The FPGA's 32-bit LFSR random number generator.
+
+    One :meth:`next_u32` corresponds to one read of the RNG register
+    through the memory interface (32 shifts happen inside the FPGA
+    between reads, so successive words are decorrelated).
+    """
+
+    def __init__(self, seed: int = 0xDEADBEEF) -> None:
+        if not 0 < seed < 2**32:
+            raise ValueError("seed must be a non-zero 32-bit value")
+        self.state = seed
+        self.words_read = 0
+
+    def _shift(self) -> int:
+        lsb = self.state & 1
+        self.state = _shift_once(self.state)
+        return lsb
+
+    def next_u32(self) -> int:
+        """Advance 32 shifts and return the register value."""
+        s = self.state
+        self.state = (
+            _JUMP[0][s & 0xFF]
+            ^ _JUMP[1][(s >> 8) & 0xFF]
+            ^ _JUMP[2][(s >> 16) & 0xFF]
+            ^ _JUMP[3][s >> 24]
+        )
+        self.words_read += 1
+        return self.state
+
+    def next_below(self, bound: int) -> int:
+        """Uniform integer in [0, bound) by rejection sampling."""
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        span = (2**32 // bound) * bound
+        while True:
+            value = self.next_u32()
+            if value < span:
+                return value % bound
+
+    def bernoulli(self, probability: float) -> bool:
+        """True with the given probability (16.16 fixed-point threshold,
+        as the hardware comparator would implement it)."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        threshold = int(probability * 2**32)
+        return self.next_u32() < threshold
+
+
+class SoftwareRand:
+    """The C standard library ``rand()`` the ARM used before offloading:
+    the classic BSD/glibc TYPE_0 linear congruential generator."""
+
+    RAND_MAX = 0x7FFFFFFF
+
+    def __init__(self, seed: int = 1) -> None:
+        self.state = seed & 0x7FFFFFFF
+        self.calls = 0
+
+    def rand(self) -> int:
+        self.state = (self.state * 1103515245 + 12345) & 0x7FFFFFFF
+        self.calls += 1
+        return self.state
+
+    def next_u32(self) -> int:
+        """Two calls to build a 32-bit word (rand() yields 31 bits)."""
+        high = self.rand() & 0xFFFF
+        low = self.rand() & 0xFFFF
+        return (high << 16) | low
+
+    def next_below(self, bound: int) -> int:
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        return self.rand() % bound
+
+    def bernoulli(self, probability: float) -> bool:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        return self.rand() < probability * self.RAND_MAX

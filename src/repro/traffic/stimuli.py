@@ -1,0 +1,186 @@
+"""Stimuli tables and the software-side injection driver.
+
+Mirrors the paper's data flow (section 5.3): generated traffic lands in
+a *stimuli table* with timestamps, is moved into per-VC buffers, and the
+interface hardware injects it when the network accepts it.  "If the
+network is overloaded with traffic and it does not accept data on
+virtual channels for a longer time, this is reported to the user and
+simulation is stopped" — :class:`TrafficDriver` implements exactly that
+guard.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.noc.config import NetworkConfig
+from repro.noc.packet import Packet, segment
+from repro.traffic.generators import BernoulliBeTraffic, GtStreamTraffic
+
+
+class NetworkOverloadError(RuntimeError):
+    """The network refused stimuli on a VC for longer than the limit."""
+
+
+@dataclass(frozen=True)
+class StimuliEntry:
+    """One flit in the stimuli table (flit word + generation timestamp —
+    'the data in the buffers has a timestamp', section 5.2)."""
+
+    cycle: int
+    router: int
+    vc: int
+    flit_word: int
+    packet_key: Optional[Tuple[int, int]] = None  # (src, seq) of its packet
+
+
+class StimuliTable:
+    """The generated-traffic staging area of simulation step 1."""
+
+    def __init__(self) -> None:
+        self.entries: List[StimuliEntry] = []
+
+    def add_packet(self, net: NetworkConfig, packet: Packet, vc: int, cycle: int) -> None:
+        key = (packet.src, packet.seq)
+        for flit in segment(packet, net):
+            self.entries.append(
+                StimuliEntry(
+                    cycle,
+                    packet.src,
+                    vc,
+                    flit.encode(net.router.data_width),
+                    packet_key=key,
+                )
+            )
+
+    def drain(self) -> List[StimuliEntry]:
+        out, self.entries = self.entries, []
+        return out
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass
+class SubmitRecord:
+    """Bookkeeping for one submitted packet (for latency analysis)."""
+
+    packet: Packet
+    vc: int
+    submit_cycle: int
+
+
+class TrafficDriver:
+    """Generates traffic, queues it per (router, VC), and pumps the
+    engine's injection registers every cycle.
+
+    The driver is deterministic: identical generator seeds produce the
+    identical offer sequence on every engine, which the equivalence tests
+    rely on.
+    """
+
+    def __init__(
+        self,
+        engine,
+        be: Optional[BernoulliBeTraffic] = None,
+        gt: Optional[GtStreamTraffic] = None,
+        stall_limit: int = 10_000,
+    ) -> None:
+        self.engine = engine
+        self.net: NetworkConfig = engine.cfg
+        self.be = be
+        self.gt = gt
+        self.stall_limit = stall_limit
+        self.queues: Dict[Tuple[int, int], Deque[StimuliEntry]] = {}
+        self.submits: List[SubmitRecord] = []
+        self._stall: Dict[Tuple[int, int], int] = {}
+        self._be_vc_toggle = [0] * self.net.n_routers
+        self.overloaded = False
+        self.flits_generated = 0
+        self.tracker = None  # optional PacketLatencyTracker
+
+    def attach_tracker(self, tracker) -> None:
+        """Register a latency tracker notified of every submit."""
+        self.tracker = tracker
+
+    # -- generation (simulation step 1) --------------------------------------
+    def generate(self, cycle: int) -> None:
+        net = self.net
+        if self.gt is not None:
+            for packet, vc in self.gt.packets_for_cycle(cycle):
+                self._submit(packet, vc, cycle)
+        if self.be is not None:
+            be_vcs = net.router.be_vcs
+            for packet in self.be.packets_for_cycle(cycle):
+                toggle = self._be_vc_toggle[packet.src]
+                self._be_vc_toggle[packet.src] = (toggle + 1) % len(be_vcs)
+                self._submit(packet, be_vcs[toggle], cycle)
+
+    def send_packet(self, packet: Packet, vc: int) -> None:
+        """Queue a single packet for injection (in addition to whatever
+        the attached generators produce)."""
+        self._submit(packet, vc, self.engine.cycle)
+
+    def _submit(self, packet: Packet, vc: int, cycle: int) -> None:
+        record = SubmitRecord(packet, vc, cycle)
+        self.submits.append(record)
+        if self.tracker is not None:
+            self.tracker.note_submit(record)
+        queue = self.queues.setdefault((packet.src, vc), deque())
+        for flit in segment(packet, self.net):
+            queue.append(
+                StimuliEntry(
+                    cycle, packet.src, vc, flit.encode(self.net.router.data_width),
+                    packet_key=(packet.src, packet.seq),
+                )
+            )
+            self.flits_generated += 1
+
+    # -- injection (simulation steps 2/3) --------------------------------------
+    def pump(self) -> None:
+        """Offer the head flit of every per-VC queue; track stalls."""
+        for key, queue in self.queues.items():
+            if not queue:
+                continue
+            router, vc = key
+            if self.engine.offer(router, vc, queue[0].flit_word):
+                queue.popleft()
+                self._stall[key] = 0
+            else:
+                stalled = self._stall.get(key, 0) + 1
+                self._stall[key] = stalled
+                if stalled > self.stall_limit:
+                    self.overloaded = True
+                    raise NetworkOverloadError(
+                        f"router {router} VC {vc} refused stimuli for "
+                        f"{stalled} cycles — network overloaded"
+                    )
+
+    def step(self) -> None:
+        """One driver cycle: generate, pump, advance the engine."""
+        self.generate(self.engine.cycle)
+        self.pump()
+        self.engine.step()
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.step()
+
+    # -- accounting -----------------------------------------------------------
+    def backlog(self) -> int:
+        """Flits generated but not yet accepted by the network."""
+        return sum(len(q) for q in self.queues.values())
+
+    def drain(self, max_cycles: int = 100_000) -> int:
+        """Stop generating, run until everything in flight is delivered."""
+        for used in range(max_cycles):
+            if self.backlog() == 0 and self.engine.drained():
+                return used
+            self.pump()
+            self.engine.step()
+        raise NetworkOverloadError(
+            f"network did not drain within {max_cycles} cycles "
+            f"({self.backlog()} flits still queued)"
+        )

@@ -1,0 +1,87 @@
+"""Shared test utilities: a minimal packet driver over Network.offer."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.noc import Network, NetworkConfig, Packet, PacketClass
+from repro.noc.packet import Reassembler, segment
+
+
+class PacketDriver:
+    """Feeds segmented packets into injection registers and reassembles
+    ejections — a miniature version of the platform's stimuli process.
+    """
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self.queues: Dict[Tuple[int, int], deque] = {}
+        self.sinks = [Reassembler(network.cfg) for _ in range(network.cfg.n_routers)]
+        self.delivered: List[Tuple[int, Packet, int]] = []  # (router, packet, cycle)
+        self._ejections_seen = 0
+
+    def send(self, packet: Packet, vc: int) -> None:
+        """Queue a packet for injection at its source on the given VC."""
+        key = (packet.src, vc)
+        queue = self.queues.setdefault(key, deque())
+        for flit in segment(packet, self.network.cfg):
+            queue.append(flit)
+
+    def pump(self) -> None:
+        """Offer the next flit of every (router, vc) software queue."""
+        for (router, vc), queue in self.queues.items():
+            if queue and self.network.offer(router, vc, queue[0]):
+                queue.popleft()
+
+    def harvest(self) -> None:
+        """Feed new ejection records into the per-router reassemblers."""
+        ejections = self.network.ejections
+        for record in ejections[self._ejections_seen :]:
+            packet = self.sinks[record.router].push(
+                record.vc,
+                _decode_flit(record.flit_word, self.network.cfg.router.data_width),
+                record.cycle,
+            )
+            if packet is not None:
+                self.delivered.append((record.router, packet, record.cycle))
+        self._ejections_seen = len(ejections)
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.pump()
+            self.network.step()
+        self.harvest()
+
+    def run_until_drained(self, max_cycles: int = 50_000) -> int:
+        """Run until every queued flit is delivered; returns cycles used."""
+        for used in range(max_cycles):
+            self.pump()
+            self.network.step()
+            if (
+                all(not q for q in self.queues.values())
+                and self.network.drained()
+            ):
+                self.harvest()
+                return used + 1
+        self.harvest()
+        raise AssertionError(
+            f"network did not drain in {max_cycles} cycles; "
+            f"{self.network.total_buffered()} flits stuck"
+        )
+
+
+def _decode_flit(word: int, data_width: int):
+    from repro.noc.flit import Flit
+
+    return Flit.decode(word, data_width)
+
+
+def be_packet(net: NetworkConfig, src: int, dest: int, nbytes: int = 10, seq: int = 0) -> Packet:
+    payload = bytes((seq + i) % 256 for i in range(nbytes))
+    return Packet(src=src, dest=dest, pclass=PacketClass.BE, payload=payload, seq=seq)
+
+
+def gt_packet(net: NetworkConfig, src: int, dest: int, nbytes: int = 256, seq: int = 0) -> Packet:
+    payload = bytes((seq + i) % 256 for i in range(nbytes))
+    return Packet(src=src, dest=dest, pclass=PacketClass.GT, payload=payload, seq=seq)

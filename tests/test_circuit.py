@@ -1,0 +1,194 @@
+"""Tests for the circuit-switched NoC (paper section 2 / reference [16])."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import (
+    CircuitConfig,
+    CircuitManager,
+    CircuitNetwork,
+    SequentialCircuitNetwork,
+    SetupError,
+    circuit_state_bits,
+)
+from repro.noc.config import Port
+
+
+def make(width=4, height=4, n_lanes=4, cls=CircuitNetwork, **kwargs):
+    cfg = CircuitConfig(width, height, n_lanes=n_lanes, **kwargs)
+    network = cls(cfg)
+    return cfg, network, CircuitManager(network)
+
+
+class TestConfig:
+    def test_channels(self):
+        cfg = CircuitConfig(4, 4)
+        assert cfg.n_channels == 20
+        assert cfg.channel(Port.EAST, 1) == 2 * 4 + 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitConfig(1, 1)
+        with pytest.raises(ValueError):
+            CircuitConfig(4, 4, n_lanes=0)
+        with pytest.raises(ValueError):
+            CircuitConfig(4, 4, topology="ring")
+
+    def test_state_bits(self):
+        bits = circuit_state_bits(CircuitConfig(4, 4))
+        # 20 channels x (1 valid + 5-bit source) config, 20 x 17 pipeline.
+        assert bits["Crossbar configuration"] == 20 * 6
+        assert bits["Output registers"] == 20 * 17
+        assert bits["Total"] == 20 * 23
+        # An order of magnitude less state than the packet router (2112 b)
+        # - the energy argument for circuit switching.
+        assert bits["Total"] < 2112 / 3
+
+
+class TestSetup:
+    def test_setup_programs_path(self):
+        cfg, network, manager = make()
+        circuit = manager.setup(0, cfg.index(2, 0))
+        assert circuit.n_hops == 2
+        assert circuit.latency == 3
+        routers = [r for r, _i, _o in circuit.hops]
+        assert routers == [0, 1, 2]
+
+    def test_lane_exhaustion_and_teardown(self):
+        cfg, network, manager = make(n_lanes=2)
+        a = manager.setup(0, 2)
+        b = manager.setup(0, 2)
+        with pytest.raises(SetupError):
+            manager.setup(0, 2)  # both lanes of the east links are taken
+        manager.teardown(a)
+        c = manager.setup(0, 2)  # the freed lane is reusable
+        assert c.entry_lane != b.entry_lane or c.exit_lane != b.exit_lane
+
+    def test_failed_setup_rolls_back(self):
+        cfg, network, manager = make(n_lanes=1)
+        manager.setup(0, 1)  # occupies link 0->1
+        before = network.snapshot()
+        with pytest.raises(SetupError):
+            manager.setup(0, 2)  # needs link 0->1 too: must fail cleanly
+        assert network.snapshot() == before
+
+    def test_self_circuit_rejected(self):
+        _cfg, _network, manager = make()
+        with pytest.raises(SetupError):
+            manager.setup(3, 3)
+
+    def test_lane_switching_allows_partial_overlap(self):
+        """Two circuits sharing only part of their path coexist by
+        taking different lanes on the shared links."""
+        cfg, network, manager = make(n_lanes=2)
+        a = manager.setup(cfg.index(0, 0), cfg.index(3, 0))
+        b = manager.setup(cfg.index(1, 0), cfg.index(3, 1))
+        assert a in manager.circuits and b in manager.circuits
+
+
+class TestStreaming:
+    def test_fixed_latency(self):
+        """The circuit-switched guarantee: latency = path length, exact."""
+        cfg, network, manager = make()
+        circuit = manager.setup(0, cfg.index(3, 0))
+        network.inject(0, circuit.entry_lane, 0xBEEF)
+        for _ in range(circuit.latency):
+            network.step()
+        got = manager.received(circuit)
+        assert got == [0xBEEF]
+        assert network.ejections[0].cycle == circuit.latency - 1
+
+    def test_full_bandwidth_streaming(self):
+        """One word per cycle, in order, no loss."""
+        cfg, network, manager = make()
+        circuit = manager.setup(0, cfg.index(2, 2))
+        words = list(range(1, 41))
+        manager.send(circuit, list(words))
+        for _ in range(len(words) + circuit.latency):
+            manager.pump()
+            network.step()
+        assert manager.received(circuit) == words
+
+    def test_two_circuits_do_not_interfere(self):
+        cfg, network, manager = make()
+        a = manager.setup(cfg.index(0, 0), cfg.index(3, 0))
+        b = manager.setup(cfg.index(0, 1), cfg.index(3, 1))
+        manager.send(a, [10, 11, 12])
+        manager.send(b, [20, 21, 22])
+        for _ in range(12):
+            manager.pump()
+            network.step()
+        assert manager.received(a) == [10, 11, 12]
+        assert manager.received(b) == [20, 21, 22]
+
+    def test_word_width_checked(self):
+        cfg, network, _ = make()
+        with pytest.raises(ValueError):
+            network.inject(0, 0, 1 << 16)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.data())
+    def test_random_circuits_deliver_everything(self, data):
+        cfg, network, manager = make(width=3, height=3, n_lanes=4)
+        n_circuits = data.draw(st.integers(1, 4))
+        circuits = []
+        payloads = {}
+        for i in range(n_circuits):
+            src = data.draw(st.integers(0, 8))
+            dest = data.draw(st.integers(0, 8).filter(lambda d: d != src))
+            try:
+                circuit = manager.setup(src, dest)
+            except SetupError:
+                continue  # lanes exhausted: acceptable
+            words = data.draw(
+                st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=12)
+            )
+            manager.send(circuit, list(words))
+            circuits.append(circuit)
+            payloads[id(circuit)] = words
+        for _ in range(30):
+            manager.pump()
+            network.step()
+        for circuit in circuits:
+            assert manager.received(circuit) == payloads[id(circuit)]
+
+
+class TestSequentialEquivalence:
+    """Paper section 2: 'the approach can also be used for the
+    circuit-switched network' — with the *static* schedule of 4.1."""
+
+    def drive(self, network_cls, order=None):
+        cfg = CircuitConfig(3, 3, n_lanes=2)
+        network = network_cls(cfg) if order is None else network_cls(cfg, order=order)
+        manager = CircuitManager(network)
+        a = manager.setup(0, cfg.index(2, 0))
+        b = manager.setup(cfg.index(0, 1), cfg.index(2, 2))
+        manager.send(a, [1, 2, 3, 4])
+        manager.send(b, [9, 8, 7])
+        snapshots = []
+        for _ in range(15):
+            manager.pump()
+            network.step()
+            snapshots.append(network.snapshot())
+        return network, manager, a, b, snapshots
+
+    def test_sequential_matches_direct(self):
+        direct = self.drive(CircuitNetwork)
+        sequential = self.drive(SequentialCircuitNetwork)
+        assert direct[4] == sequential[4]  # bit-identical every cycle
+        assert [e.__dict__ for e in direct[0].ejections] == [
+            e.__dict__ for e in sequential[0].ejections
+        ]
+
+    def test_any_evaluation_order_is_equivalent(self):
+        reference = self.drive(SequentialCircuitNetwork)[4]
+        for order in itertools.islice(itertools.permutations(range(9)), 0, 24, 5):
+            got = self.drive(SequentialCircuitNetwork, order=list(order))[4]
+            assert got == reference
+
+    def test_static_delta_count(self):
+        network = self.drive(SequentialCircuitNetwork)[0]
+        assert network.metrics.per_cycle == [9] * 15  # one eval per router

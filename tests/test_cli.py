@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Wolkotte" in out
+        assert "rtl" in out and "sequential" in out
+
+    def test_layout(self, capsys):
+        assert main(["layout"]) == 0
+        out = capsys.readouterr().out
+        assert "2112" in out
+
+    def test_layout_fields_and_depth(self, capsys):
+        assert main(["layout", "--queue-depth", "2", "--fields"]) == 0
+        out = capsys.readouterr().out
+        assert "720" in out  # shallow queues
+        assert "input_queues" in out
+
+    def test_resources(self, capsys):
+        assert main(["resources"]) == 0
+        out = capsys.readouterr().out
+        assert "7053" in out and "139" in out
+
+    def test_simulate(self, capsys):
+        assert main(
+            ["simulate", "--width", "3", "--height", "3", "--cycles", "120",
+             "--load", "0.05"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "simulated cycles/s" in out
+        assert "delta cycles" in out
+
+    def test_simulate_cycle_engine(self, capsys):
+        assert main(
+            ["simulate", "--engine", "cycle", "--width", "2", "--height", "2",
+             "--cycles", "60"]
+        ) == 0
+        assert "cycle engine" in capsys.readouterr().out
+
+    def test_trace(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.vcd"
+        assert main(["trace", "--out", str(out_file), "--cycles", "20"]) == 0
+        text = out_file.read_text()
+        assert "$enddefinitions" in text
+        assert "noc.r0" in text
+
+    def test_trace_bad_filter(self, capsys):
+        assert main(["trace", "--filter", "zzz_nothing", "--cycles", "5"]) == 1
+
+    def test_experiments_delegation(self, capsys):
+        assert main(["experiments", "table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out

@@ -1,0 +1,103 @@
+"""Tests for the event-based energy model."""
+
+import pytest
+
+from repro.engines import CycleEngine
+from repro.noc import NetworkConfig, RouterConfig
+from repro.stats.energy import EnergyCoefficients, EnergyProbe
+from repro.traffic import BernoulliBeTraffic, TrafficDriver, uniform_random
+
+from tests.helpers import PacketDriver, be_packet
+
+
+class TestEnergyProbe:
+    def test_idle_network_only_leaks(self):
+        net = NetworkConfig(3, 3)
+        engine = CycleEngine(net)
+        probe = EnergyProbe(engine)
+        probe.run_instrumented(10)
+        counters = probe.counters
+        assert counters.buffer_writes == 0
+        assert counters.link_traversals == 0
+        assert probe.total_energy() == pytest.approx(
+            counters.bit_cycles * probe.k.leakage_per_bit_cycle
+        )
+
+    def test_event_accounting_single_packet(self):
+        """Exact event counts for one packet on a known route."""
+        net = NetworkConfig(4, 4, topology="mesh")
+        engine = CycleEngine(net)
+        driver = PacketDriver(engine)
+        hops = 3
+        n_flits = 7
+        driver.send(be_packet(net, net.index(0, 0), net.index(3, 0)), vc=2)
+        probe = EnergyProbe(engine)
+        for _ in range(60):
+            driver.pump()
+            engine.step()
+            probe.observe()
+        driver.harvest()
+        counters = probe.counters
+        # Every flit is written once per router on the path (4 routers).
+        assert counters.buffer_writes == n_flits * (hops + 1)
+        # Every flit traverses 3 links and is read/crossed 4 times
+        # (3 link hops + the local ejection).
+        assert counters.link_traversals == n_flits * hops
+        assert counters.buffer_reads == n_flits * (hops + 1)
+        assert counters.crossbar_traversals == n_flits * (hops + 1)
+
+    def test_energy_scales_with_hops(self):
+        def energy_for(dest):
+            net = NetworkConfig(4, 4, topology="mesh")
+            engine = CycleEngine(net)
+            driver = PacketDriver(engine)
+            driver.send(be_packet(net, 0, dest), vc=2)
+            probe = EnergyProbe(
+                engine, EnergyCoefficients(leakage_per_bit_cycle=0.0)
+            )
+            for _ in range(60):
+                driver.pump()
+                engine.step()
+                probe.observe()
+            return probe.total_energy()
+
+        net = NetworkConfig(4, 4, topology="mesh")
+        assert energy_for(net.index(3, 0)) > energy_for(net.index(1, 0))
+
+    def test_leakage_scales_with_queue_depth(self):
+        """The paper's point: buffer energy grows with buffer size even
+        at identical traffic."""
+
+        def leakage_for(depth):
+            net = NetworkConfig(3, 3, router=RouterConfig(queue_depth=depth))
+            engine = CycleEngine(net)
+            probe = EnergyProbe(engine)
+            probe.run_instrumented(20)
+            return probe.breakdown()["leakage"]
+
+        assert leakage_for(4) == pytest.approx(2 * leakage_for(2))
+
+    def test_energy_per_flit(self):
+        net = NetworkConfig(3, 3)
+        engine = CycleEngine(net)
+        be = BernoulliBeTraffic(net, 0.06, uniform_random(net), seed=8)
+        driver = TrafficDriver(engine, be=be)
+        probe = EnergyProbe(engine)
+        for _ in range(200):
+            driver.generate(engine.cycle)
+            driver.pump()
+            engine.step()
+            probe.observe()
+        assert probe.energy_per_delivered_flit() > 0
+        parts = probe.breakdown()
+        assert sum(parts.values()) == pytest.approx(probe.total_energy())
+
+    def test_heterogeneous_buffer_bits(self):
+        net = NetworkConfig(
+            3, 3,
+            router=RouterConfig(queue_depth=2),
+            router_overrides=((4, RouterConfig(queue_depth=8)),),
+        )
+        probe = EnergyProbe(CycleEngine(net))
+        homog = EnergyProbe(CycleEngine(NetworkConfig(3, 3, router=RouterConfig(queue_depth=2))))
+        assert probe._buffer_bits > homog._buffer_bits

@@ -1,0 +1,62 @@
+"""Smoke tests: every example script runs and prints what it promises."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, timeout=420, scale="0.15"):
+    env = dict(os.environ, REPRO_SCALE=scale)
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "GT stream" in out
+    assert "network drained" in out
+    assert "total latency" in out
+
+
+def test_engine_equivalence():
+    out = run_example("engine_equivalence.py")
+    assert "BIT-IDENTICAL" in out
+    assert "cycles/s" in out
+
+
+def test_sequential_simulation():
+    out = run_example("sequential_simulation.py")
+    assert "static schedule" in out
+    assert "HBR" in out
+    assert "re-evaluations" in out
+
+
+def test_platform_cosim():
+    out = run_example("platform_cosim.py")
+    assert "Generate stimuli (ARM)" in out
+    assert "simulated cycles/s" in out
+    assert "GT latency" in out
+
+
+def test_latency_study():
+    out = run_example("latency_study.py")
+    assert "Figure 1" in out
+    assert "guarantee bound" in out
+
+
+def test_design_exploration():
+    out = run_example("design_exploration.py")
+    assert "Buffer-size exploration" in out
+    assert "1440" in out  # the Table-1 default buffer bits appear

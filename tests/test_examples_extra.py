@@ -1,0 +1,11 @@
+"""Smoke test for the section-7.1 generality example."""
+
+from tests.test_examples import run_example
+
+
+def test_other_parallel_systems():
+    out = run_example("other_parallel_systems.py")
+    assert "circuit-switched" in out
+    assert "systolic" in out
+    assert "matches numpy: True" in out
+    assert "0x1111" in out

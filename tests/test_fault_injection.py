@@ -1,0 +1,128 @@
+"""Fault injection: the protocol checks must catch corrupted state.
+
+A bit-accurate simulator is a debugging instrument; these tests verify
+that when the simulated hardware is driven outside its contract —
+corrupted link words, overfilled queues, malformed flit streams — the
+golden model fails loudly instead of silently producing wrong results.
+"""
+
+import pytest
+
+from repro.engines import CycleEngine
+from repro.noc import Network, NetworkConfig, RouterConfig
+from repro.noc.flit import Flit, FlitType, Header
+from repro.noc.packet import ProtocolError as ReassemblyError
+from repro.noc.packet import Reassembler
+from repro.noc.router import ProtocolError, RouterInputs
+
+from tests.helpers import PacketDriver, be_packet
+
+
+class TestRouterFaults:
+    def setup_method(self):
+        self.cfg = NetworkConfig(3, 3)
+        self.network = Network(self.cfg)
+
+    def test_forged_flit_to_full_queue_detected(self):
+        """Injecting a forward word that ignores the room mask trips the
+        overflow assertion."""
+        state = self.network.states[4]
+        cfg = self.cfg.router
+        # Fill queue (LOCAL port, VC 2) to the brim by hand.
+        queue = state.queues[2]
+        for i in range(cfg.queue_depth):
+            queue.push(Flit(FlitType.BODY, i).encode())
+        word = (2 << (cfg.data_width + 2)) | Flit(FlitType.BODY, 0xFF).encode()
+        inputs = RouterInputs(
+            fwd=[word, 0, 0, 0, 0], room=[0xF] * 5
+        )
+        router = self.network.routers[4]
+        with pytest.raises(ProtocolError, match="overflow"):
+            router.next_state(state, inputs)
+
+    def test_grant_to_empty_queue_detected(self):
+        state = self.network.states[0]
+        with pytest.raises(ProtocolError, match="underflow|empty"):
+            state.queues[0].pop()
+
+    def test_gt_flit_on_be_vc_detected(self):
+        state = self.network.states[0]
+        gt_head = Header(1, 1, gt=True).head_flit().encode()
+        state.queues[3].push(gt_head)  # VC 3 is BE-only
+        router = self.network.routers[0]
+        inputs = RouterInputs(fwd=[0] * 5, room=[0xF] * 5)
+        with pytest.raises(ProtocolError, match="GT head on non-GT VC"):
+            router.next_state(state, inputs)
+
+
+class TestStreamFaults:
+    def setup_method(self):
+        self.cfg = NetworkConfig(3, 3)
+
+    def test_body_without_head(self):
+        sink = Reassembler(self.cfg)
+        with pytest.raises(ReassemblyError, match="without a HEAD"):
+            sink.push(0, Flit(FlitType.BODY, 1), 0)
+
+    def test_head_interrupting_open_packet(self):
+        sink = Reassembler(self.cfg)
+        sink.push(1, Header(1, 1).head_flit(), 0)
+        with pytest.raises(ReassemblyError, match="HEAD while a packet is open"):
+            sink.push(1, Header(2, 2).head_flit(), 1)
+
+    def test_tail_with_no_body(self):
+        sink = Reassembler(self.cfg)
+        sink.push(0, Header(1, 1).head_flit(), 0)
+        with pytest.raises(ReassemblyError, match="no body"):
+            sink.push(0, Flit(FlitType.TAIL, 0), 1)
+
+    def test_open_vcs_reported(self):
+        sink = Reassembler(self.cfg)
+        sink.push(2, Header(1, 1).head_flit(), 0)
+        assert sink.open_vcs == (2,)
+
+
+class TestCorruptedLinkMemory:
+    def test_corrupted_vc_label_misroutes_but_is_caught(self):
+        """Flipping the VC label of an in-flight word makes a BODY flit
+        land on a VC with no open packet — caught at reassembly."""
+        cfg = NetworkConfig(2, 2)
+        engine = CycleEngine(cfg)
+        driver = PacketDriver(engine)
+        driver.send(be_packet(cfg, 0, 1, nbytes=20), vc=2)
+        # advance until flits flow on link 0->1
+        for _ in range(6):
+            driver.pump()
+            engine.step()
+        with pytest.raises((ReassemblyError, ProtocolError, AssertionError)):
+            # corrupt the head register of a mid-packet queue: swap its
+            # VC by re-injecting the stream on the other VC at the sink
+            for _ in range(40):
+                driver.pump()
+                # corrupt: move a buffered flit to the wrong VC queue
+                state = engine.states[1]
+                src_q = state.queues[4 * 4 + 2]  # WEST port? ensure index valid
+                dst_q = state.queues[4 * 4 + 3]
+                if src_q.count > 0 and dst_q.count < dst_q.depth:
+                    dst_q.push(src_q.pop())
+                engine.step()
+            driver.run_until_drained(max_cycles=200)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_logs(self):
+        def run_once():
+            cfg = NetworkConfig(4, 4)
+            engine = CycleEngine(cfg)
+            from repro.traffic import BernoulliBeTraffic, TrafficDriver, uniform_random
+
+            be = BernoulliBeTraffic(cfg, 0.08, uniform_random(cfg), seed=99)
+            driver = TrafficDriver(engine, be=be)
+            driver.run(150)
+            return (
+                [r.__dict__ for r in engine.injections],
+                [r.__dict__ for r in engine.ejections],
+                engine.snapshot(),
+            )
+
+        assert run_once() == run_once()

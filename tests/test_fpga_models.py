@@ -1,0 +1,225 @@
+"""Tests for the FPGA device/resource/memory-map/timing models —
+the Table 2, Table 3, Table 4 and section-4 reproductions."""
+
+import pytest
+
+from repro.fpga import (
+    VIRTEX2_6000,
+    VIRTEX2_8000,
+    ArmSoftwareModel,
+    FpgaTimingModel,
+    MemoryMap,
+    PlatformModel,
+    direct_instantiation_limit,
+    simulator_resources,
+)
+from repro.fpga.resources import bram_blocks_for
+from repro.fpga.timing import PAPER_TABLE3, PAPER_TABLE4
+from repro.noc import NetworkConfig, RouterConfig
+
+
+class TestDevice:
+    def test_capacity_units(self):
+        """The Table 2 percentages pin the units: slices and BRAM18s."""
+        assert round(100 * 7053 / VIRTEX2_8000.slices) == 15
+        assert int(100 * 139 / VIRTEX2_8000.bram_blocks) == 82
+
+    def test_clb_is_four_slices(self):
+        assert VIRTEX2_8000.clbs == VIRTEX2_8000.slices // 4
+
+    def test_smaller_device(self):
+        assert VIRTEX2_6000.slices < VIRTEX2_8000.slices
+
+
+class TestBramPacking:
+    def test_wide_shallow_uses_36bit_mode(self):
+        # 512 x 2112: 59 blocks in 512x36 mode.
+        assert bram_blocks_for(512, 2112) == 59
+
+    def test_deep_narrow_uses_1bit_mode(self):
+        # 65536 x 3: 16Kx1 mode -> 4 deep x 3 wide = 12.
+        assert bram_blocks_for(65536, 3) == 12
+
+    def test_single_small_memory(self):
+        assert bram_blocks_for(512, 32) == 1
+        assert bram_blocks_for(16, 8) == 1
+
+    def test_zero(self):
+        assert bram_blocks_for(0, 8) == 0
+
+
+class TestTable2:
+    def test_exact_reproduction(self):
+        """The headline Table 2 check: every row, derived."""
+        report = simulator_resources(NetworkConfig(16, 16))
+        assert report.rows() == [
+            ("Router", 1762, 61),
+            ("Stimuli interface", 540, 62),
+            ("Network", 2103, 16),
+            ("Random number generator", 2021, 0),
+            ("Global control", 627, 0),
+        ]
+        assert report.total_slices == 7053
+        assert report.total_bram == 139
+        assert report.fits()
+
+    def test_render_matches_paper_totals(self):
+        text = simulator_resources(NetworkConfig(16, 16)).render()
+        assert "7053" in text and "139" in text
+        assert "15%" in text and "82%" in text
+
+    def test_smaller_fpga_needs_reduced_design(self):
+        """Section 6: 'possible to simulate the design in smaller FPGAs,
+        but it would reduce the maximum number of routers and/or the
+        amount of state registers (e.g. queue depth)'."""
+        from repro.fpga.device import VIRTEX2_4000
+
+        full = simulator_resources(NetworkConfig(16, 16), device=VIRTEX2_4000)
+        assert not full.fits()  # 139 BRAM > the XC2V4000's 120
+        reduced = simulator_resources(
+            NetworkConfig(8, 8, router=RouterConfig(queue_depth=2)),
+            device=VIRTEX2_4000,
+            max_routers=64,
+        )
+        assert reduced.fits()
+
+    def test_reduced_queue_depth_frees_brams(self):
+        shallow = simulator_resources(
+            NetworkConfig(16, 16, router=RouterConfig(queue_depth=2))
+        )
+        assert shallow.total_bram < 139
+
+    def test_fewer_routers_frees_brams(self):
+        small = simulator_resources(NetworkConfig(8, 8), max_routers=64)
+        assert small.total_bram < 139
+
+
+class TestDirectInstantiation:
+    def test_section4_limit(self):
+        """'a size limitation of approximately 24 routers in a Virtex-II
+        8000 [...] with a reduced data-path of 6-bit'."""
+        est = direct_instantiation_limit(data_width=6)
+        assert 20 <= est.max_routers <= 28
+
+    def test_tristates_are_the_binding_constraint(self):
+        """'The two major bottlenecks were the number of CLBs and
+        available number of tri-states.'"""
+        est = direct_instantiation_limit(data_width=6)
+        assert est.limit_by_tbufs <= est.limit_by_slices
+
+    def test_sequential_simulator_beats_direct_by_10x(self):
+        est = direct_instantiation_limit(data_width=6)
+        assert 256 >= 10 * est.max_routers
+
+    def test_full_datapath_is_worse(self):
+        assert (
+            direct_instantiation_limit(data_width=16).max_routers
+            < direct_instantiation_limit(data_width=6).max_routers
+        )
+
+
+class TestMemoryMap:
+    def test_fits_17bit_interface(self):
+        mmap = MemoryMap(NetworkConfig(16, 16))
+        assert mmap.words_used <= 1 << 17
+
+    def test_regions_disjoint_and_ordered(self):
+        mmap = MemoryMap(NetworkConfig(6, 6))
+        position = 0
+        for region in mmap.regions:
+            assert region.base == position
+            position = region.end
+
+    def test_entry_addressing(self):
+        mmap = MemoryMap(NetworkConfig(6, 6))
+        a = mmap.stimuli_entry_address(0, 0, 0)
+        b = mmap.stimuli_entry_address(0, 0, 1)
+        assert b - a == mmap.words_per_entry
+        assert mmap.region_of(a) is mmap.stimuli
+        out = mmap.output_entry_address(3, 2)
+        assert mmap.region_of(out) is mmap.output
+
+    def test_bounds(self):
+        mmap = MemoryMap(NetworkConfig(6, 6))
+        with pytest.raises(IndexError):
+            mmap.stimuli_entry_address(0, 9, 0)
+        with pytest.raises(IndexError):
+            mmap.region_of(1 << 20)
+
+    def test_render(self):
+        assert "stimuli" in MemoryMap(NetworkConfig(6, 6)).render()
+
+
+class TestTimingModel:
+    def test_delta_rate(self):
+        fpga = FpgaTimingModel()
+        assert fpga.delta_rate_hz == pytest.approx(3.3e6)
+
+    def test_section6_ceiling(self):
+        """3.3e6 / 36 = 91.6 kHz for a 6x6 network."""
+        assert FpgaTimingModel().theoretical_max_cps(36) == pytest.approx(91_666.7, rel=1e-3)
+
+    def test_modeled_cps_in_paper_band(self):
+        """A Fig. 1-scale workload lands between the paper's average and
+        fastest figures."""
+        pm = PlatformModel()
+        cycles = 10_000
+        # moderate load, complex analysis -> near "average"
+        flits = int(36 * 0.15 * cycles)
+        deltas = int(36 * cycles * 1.25)
+        avg = pm.simulated_cps(cycles, flits, flits, deltas, periods=cycles // 24,
+                               complex_analysis=True)
+        assert 15_000 <= avg <= 30_000
+        # light load, simple analysis -> near "fastest"
+        flits = int(36 * 0.05 * cycles)
+        deltas = int(36 * cycles * 1.08)
+        fast = pm.simulated_cps(cycles, flits, flits, deltas, periods=cycles // 24)
+        assert 45_000 <= fast <= 92_000
+        assert fast > avg
+
+    def test_rng_offload_speedup(self):
+        """Section 8: FPGA RNG bought ~50 % simulation speed."""
+        pm = PlatformModel()
+        cycles, flits = 10_000, int(36 * 0.15 * 10_000)
+        deltas = int(36 * cycles * 1.2)
+        with_rng = pm.simulated_cps(cycles, flits, flits, deltas, fpga_rng=True,
+                                    complex_analysis=True)
+        without = pm.simulated_cps(cycles, flits, flits, deltas, fpga_rng=False,
+                                   complex_analysis=True)
+        speedup = with_rng / without
+        assert 1.3 <= speedup <= 1.7
+
+    def test_table4_shares_in_paper_ranges(self):
+        pm = PlatformModel()
+        cycles = 10_000
+        flits = int(36 * 0.12 * cycles)
+        deltas = int(36 * cycles * 1.2)
+        shares = pm.breakdown(
+            flits, flits, deltas, periods=cycles // 24, complex_analysis=True
+        ).percentages()
+        for phase, (lo, hi) in PAPER_TABLE4.items():
+            assert lo - 1 <= shares[phase] <= hi + 1, (phase, shares[phase])
+
+    def test_speedup_vs_systemc_in_80_300_band(self):
+        """The abstract's 80-300x claim: modelled FPGA CPS over the
+        paper's measured SystemC 215 Hz."""
+        pm = PlatformModel()
+        cycles = 10_000
+        systemc = PAPER_TABLE3["SystemC"][0]
+        for load, complex_analysis in ((0.15, True), (0.06, False)):
+            flits = int(36 * load * cycles)
+            deltas = int(36 * cycles * (1 + 1.7 * load))
+            cps = pm.simulated_cps(
+                cycles, flits, flits, deltas, periods=cycles // 24,
+                complex_analysis=complex_analysis,
+            )
+            assert 80 <= cps / systemc <= 300
+
+    def test_simulation_hidden_behind_arm(self):
+        """With realistic loads the FPGA is never the bottleneck
+        (Table 4: simulate 0-2 %)."""
+        pm = PlatformModel()
+        flits = int(36 * 0.15 * 1000)
+        shares = pm.breakdown(flits, flits, 36 * 1200, periods=42,
+                              complex_analysis=True).percentages()
+        assert shares["simulate"] <= 2.5

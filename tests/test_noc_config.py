@@ -1,0 +1,215 @@
+"""Tests for NoC configuration, flit encodings and packets."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.noc import NetworkConfig, Port, RouterConfig
+from repro.noc.flit import (
+    Flit,
+    FlitType,
+    Header,
+    SourceInfo,
+    decode_link_word,
+    encode_link_word,
+    link_word_type,
+)
+from repro.noc.packet import (
+    BE_PAYLOAD_BYTES,
+    GT_PAYLOAD_BYTES,
+    Packet,
+    PacketClass,
+    Reassembler,
+    flits_per_packet,
+    segment,
+)
+
+
+class TestRouterConfig:
+    def test_paper_defaults(self):
+        cfg = RouterConfig()
+        assert cfg.n_ports == 5
+        assert cfg.n_vcs == 4
+        assert cfg.queue_depth == 4
+        assert cfg.flit_width == 18
+        assert cfg.link_width == 20
+        assert cfg.n_queues == 20
+        assert cfg.queue_index_bits == 5
+        assert cfg.count_bits == 3
+        assert cfg.pointer_bits == 2
+
+    def test_fig1_queue_depth_2(self):
+        cfg = RouterConfig(queue_depth=2)
+        assert cfg.count_bits == 2
+        assert cfg.pointer_bits == 1
+
+    def test_be_vcs_complement_gt(self):
+        cfg = RouterConfig(gt_vcs=frozenset({0, 1}))
+        assert cfg.be_vcs == (2, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RouterConfig(n_ports=1)
+        with pytest.raises(ValueError):
+            RouterConfig(queue_depth=0)
+        with pytest.raises(ValueError):
+            RouterConfig(data_width=8)
+        with pytest.raises(ValueError):
+            RouterConfig(gt_vcs=frozenset({7}))
+
+
+class TestNetworkConfig:
+    def test_coords_index_roundtrip(self):
+        net = NetworkConfig(6, 6)
+        for i in range(36):
+            x, y = net.coords(i)
+            assert net.index(x, y) == i
+
+    def test_min_and_max_sizes(self):
+        NetworkConfig(1, 2)  # paper: "from 1-by-2"
+        NetworkConfig(16, 16)  # 256 routers, the simulator maximum
+        with pytest.raises(ValueError):
+            NetworkConfig(1, 1)
+        with pytest.raises(ValueError):
+            NetworkConfig(17, 2)
+
+    def test_bad_topology(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(4, 4, topology="hypercube")
+
+    def test_out_of_range_lookups(self):
+        net = NetworkConfig(4, 4)
+        with pytest.raises(IndexError):
+            net.coords(16)
+        with pytest.raises(IndexError):
+            net.index(4, 0)
+
+    def test_port_opposites(self):
+        assert Port.NORTH.opposite == Port.SOUTH
+        assert Port.EAST.opposite == Port.WEST
+        assert Port.LOCAL.opposite == Port.LOCAL
+
+
+class TestFlit:
+    def test_encode_decode_roundtrip(self):
+        flit = Flit(FlitType.BODY, 0xBEEF)
+        assert Flit.decode(flit.encode()) == flit
+
+    def test_encode_overflow(self):
+        with pytest.raises(ValueError):
+            Flit(FlitType.BODY, 0x10000).encode()
+
+    def test_link_word(self):
+        flit_word = Flit(FlitType.HEAD, 0x1234).encode()
+        word = encode_link_word(3, flit_word)
+        vc, fw = decode_link_word(word)
+        assert (vc, fw) == (3, flit_word)
+        assert link_word_type(word) == FlitType.HEAD
+
+    def test_idle_wire_is_zero(self):
+        assert link_word_type(0) == FlitType.IDLE
+
+    @given(st.sampled_from(list(FlitType)), st.integers(0, 0xFFFF), st.integers(0, 3))
+    def test_roundtrip_property(self, ftype, data, vc):
+        flit = Flit(ftype, data)
+        word = encode_link_word(vc, flit.encode())
+        vc2, fw = decode_link_word(word)
+        assert vc2 == vc and Flit.decode(fw) == flit
+
+
+class TestHeader:
+    def test_roundtrip(self):
+        h = Header(dest_x=5, dest_y=3, gt=True, tag=77)
+        assert Header.decode(h.encode()) == h
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            Header(16, 0).encode()
+        with pytest.raises(ValueError):
+            Header(0, 0, tag=128).encode()
+
+    @given(st.integers(0, 15), st.integers(0, 15), st.booleans(), st.integers(0, 127))
+    def test_roundtrip_property(self, x, y, gt, tag):
+        h = Header(x, y, gt, tag)
+        assert Header.decode(h.encode()) == h
+
+    def test_source_info_roundtrip(self):
+        s = SourceInfo(3, 9, 200)
+        assert SourceInfo.decode(s.encode()) == s
+
+
+class TestPacket:
+    def setup_method(self):
+        self.net = NetworkConfig(6, 6)
+
+    def test_paper_packet_lengths(self):
+        # 16-bit data path: 2 bytes/flit, +HEAD +source-info BODY.
+        assert flits_per_packet(BE_PAYLOAD_BYTES) == 7
+        assert flits_per_packet(GT_PAYLOAD_BYTES) == 130
+
+    def test_segment_structure(self):
+        packet = Packet(src=0, dest=7, pclass=PacketClass.BE, payload=bytes(10))
+        flits = segment(packet, self.net)
+        assert len(flits) == 7
+        assert flits[0].ftype == FlitType.HEAD
+        assert all(f.ftype == FlitType.BODY for f in flits[1:-1])
+        assert flits[-1].ftype == FlitType.TAIL
+        header = Header.decode(flits[0].data)
+        assert self.net.index(header.dest_x, header.dest_y) == 7
+        assert not header.gt
+
+    def test_gt_flag_in_header(self):
+        packet = Packet(src=0, dest=7, pclass=PacketClass.GT, payload=bytes(4))
+        header = Header.decode(segment(packet, self.net)[0].data)
+        assert header.gt
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(src=0, dest=1, pclass=PacketClass.BE, payload=b"")
+
+    def test_reassembly_roundtrip(self):
+        packet = Packet(
+            src=5, dest=30, pclass=PacketClass.BE, payload=bytes(range(10)), tag=3, seq=9
+        )
+        flits = segment(packet, self.net)
+        sink = Reassembler(self.net)
+        result = None
+        for i, flit in enumerate(flits):
+            result = sink.push(vc=2, flit=flit, cycle=100 + i)
+        assert result == packet
+        assert sink.completed[0][1] == 2  # vc
+        assert sink.completed[0][2] == 100 + len(flits) - 1
+
+    def test_reassembly_interleaved_vcs(self):
+        p1 = Packet(src=1, dest=2, pclass=PacketClass.BE, payload=bytes(4), seq=1)
+        p2 = Packet(src=3, dest=2, pclass=PacketClass.BE, payload=bytes(6), seq=2)
+        f1, f2 = segment(p1, self.net), segment(p2, self.net)
+        sink = Reassembler(self.net)
+        # interleave flits of the two VCs
+        stream = []
+        for i in range(max(len(f1), len(f2))):
+            if i < len(f1):
+                stream.append((0, f1[i]))
+            if i < len(f2):
+                stream.append((1, f2[i]))
+        done = [p for vc, f in stream if (p := sink.push(vc, f, 0)) is not None]
+        assert {p.seq for p in done} == {1, 2}
+
+    def test_protocol_errors(self):
+        from repro.noc.packet import ProtocolError
+
+        sink = Reassembler(self.net)
+        with pytest.raises(ProtocolError):
+            sink.push(0, Flit(FlitType.BODY, 0), 0)
+        sink.push(0, Header(1, 1).head_flit(), 0)
+        with pytest.raises(ProtocolError):
+            sink.push(0, Header(1, 1).head_flit(), 1)
+
+    @given(st.binary(min_size=2, max_size=64).filter(lambda b: len(b) % 2 == 0))
+    def test_segment_reassemble_property(self, payload):
+        packet = Packet(src=0, dest=35, pclass=PacketClass.BE, payload=payload)
+        sink = Reassembler(self.net)
+        result = None
+        for flit in segment(packet, self.net):
+            result = sink.push(0, flit, 0)
+        assert result is not None and result.payload == payload

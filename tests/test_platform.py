@@ -1,0 +1,199 @@
+"""Tests for the platform co-simulation: cyclic buffers and the
+five-phase ARM control loop."""
+
+import pytest
+
+from repro.engines import CycleEngine, SequentialEngine
+from repro.fpga.resources import OUTPUT_BUFFER_DEPTH, VC_STIMULI_BUFFER_DEPTH
+from repro.noc import NetworkConfig, RouterConfig
+from repro.platform import (
+    BufferOverrunError,
+    BufferUnderrunError,
+    CyclicBuffer,
+    PhaseProfiler,
+    SimulationController,
+)
+from repro.stats import PacketLatencyTracker
+from repro.traffic import BernoulliBeTraffic, GtStreamTraffic, hotspot, uniform_random
+from repro.traffic.generators import reserve_shift_streams
+
+
+class TestCyclicBuffer:
+    def test_fifo_order_with_timestamps(self):
+        buf = CyclicBuffer(4)
+        for i, v in enumerate("abcd"):
+            buf.write(i, v)
+        assert buf.is_full
+        entries = buf.drain()
+        assert [e.payload for e in entries] == list("abcd")
+        assert [e.timestamp for e in entries] == [0, 1, 2, 3]
+
+    def test_overrun_protection(self):
+        buf = CyclicBuffer(2)
+        buf.write(0, 1)
+        buf.write(0, 2)
+        with pytest.raises(BufferOverrunError):
+            buf.write(0, 3)
+        assert not buf.try_write(0, 3)
+
+    def test_underrun_protection(self):
+        buf = CyclicBuffer(2)
+        with pytest.raises(BufferUnderrunError):
+            buf.read()
+        with pytest.raises(BufferUnderrunError):
+            buf.peek()
+        assert buf.try_read() is None
+
+    def test_wraparound_many_times(self):
+        buf = CyclicBuffer(3)
+        for i in range(50):
+            buf.write(i, i)
+            assert buf.read().payload == i
+        assert buf.total_written == buf.total_read == 50
+
+    def test_discard_all_moves_read_pointer(self):
+        buf = CyclicBuffer(4)
+        for i in range(3):
+            buf.write(0, i)
+        assert buf.discard_all() == 3
+        assert buf.is_empty
+        buf.write(9, "x")  # still usable afterwards
+        assert buf.read().payload == "x"
+
+    def test_peek_does_not_consume(self):
+        buf = CyclicBuffer(2)
+        buf.write(1, "a")
+        assert buf.peek().payload == "a"
+        assert buf.count == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            CyclicBuffer(0)
+
+
+class TestPhaseProfiler:
+    def test_percentages_sum_to_100(self):
+        prof = PhaseProfiler()
+        prof.add("generate", 5.0)
+        prof.add("analyze", 5.0)
+        pct = prof.percentages()
+        assert sum(pct.values()) == pytest.approx(100.0)
+        assert pct["generate"] == pytest.approx(50.0)
+
+    def test_unknown_phase(self):
+        with pytest.raises(KeyError):
+            PhaseProfiler().add("compile", 1.0)
+
+    def test_render_contains_paper_labels(self):
+        prof = PhaseProfiler()
+        prof.add("simulate", 1.0)
+        text = prof.render()
+        assert "Generate stimuli (ARM)" in text
+        assert "Simulation (FPGA)" in text
+
+    def test_empty_profile(self):
+        assert PhaseProfiler().percentages()["generate"] == 0.0
+
+
+class TestSimulationController:
+    def make(self, load=0.08, engine_cls=SequentialEngine, **kwargs):
+        net = NetworkConfig(4, 4)
+        engine = engine_cls(net)
+        be = BernoulliBeTraffic(net, load, uniform_random(net), seed=13)
+        controller = SimulationController(engine, be=be, **kwargs)
+        return net, engine, controller
+
+    def test_runs_in_periods(self):
+        _net, engine, controller = self.make()
+        report = controller.run(100)
+        assert report.periods == -(-100 // controller.period)
+        assert report.cycles == report.periods * controller.period
+        assert engine.cycle == report.cycles
+
+    def test_every_flit_flows_through_buffers(self):
+        _net, engine, controller = self.make()
+        report = controller.run(200)
+        assert report.flits_generated > 0
+        assert report.flits_loaded <= report.flits_generated
+        assert report.flits_retrieved == len(engine.ejections)
+        # Everything retrieved went through an output cyclic buffer.
+        assert all(buf.is_empty for buf in controller.output_buffers)
+
+    def test_profile_phases_populated(self):
+        _net, _engine, controller = self.make(complex_analysis=True)
+        report = controller.run(200)
+        pct = report.profile.percentages()
+        assert pct["generate"] > 0 and pct["load"] > 0
+        assert report.modeled_cps > 0
+        assert report.wall_seconds_modeled > 0
+
+    def test_generate_dominates_like_table4(self):
+        """'The majority of the time is spent in the generation of the
+        data' (section 6)."""
+        _net, _engine, controller = self.make(load=0.12, complex_analysis=True)
+        report = controller.run(400)
+        pct = report.profile.percentages()
+        assert pct["generate"] == max(pct.values())
+        assert pct["simulate"] < 10
+
+    def test_uninteresting_routers_discarded(self):
+        net = NetworkConfig(4, 4)
+        engine = SequentialEngine(net)
+        be = BernoulliBeTraffic(net, 0.1, uniform_random(net), seed=5)
+        controller = SimulationController(engine, be=be, interesting_routers={0, 1})
+        report = controller.run(200)
+        assert report.flits_discarded > 0
+        assert report.flits_retrieved + report.flits_discarded == len(engine.ejections)
+
+    def test_latency_tracker_integration(self):
+        net = NetworkConfig(4, 4)
+        engine = SequentialEngine(net)
+        be = BernoulliBeTraffic(net, 0.05, uniform_random(net), seed=31)
+        tracker = PacketLatencyTracker(net)
+        controller = SimulationController(engine, be=be, tracker=tracker)
+        controller.run(300)
+        assert tracker.delivered() > 0
+        assert tracker.stats() is not None
+
+    def test_gt_plus_be_workload(self):
+        net = NetworkConfig(4, 4)
+        engine = SequentialEngine(net)
+        table = reserve_shift_streams(net, dx=1)
+        gt = GtStreamTraffic(net, table.streams, period=200, payload_bytes=64)
+        be = BernoulliBeTraffic(net, 0.05, uniform_random(net), seed=3)
+        controller = SimulationController(engine, be=be, gt=gt)
+        report = controller.run(400)
+        assert report.flits_retrieved > 0
+        assert not report.overloaded
+
+    def test_overload_stops_simulation(self):
+        net = NetworkConfig(2, 2, router=RouterConfig(queue_depth=1))
+        engine = CycleEngine(net)
+        be = BernoulliBeTraffic(net, 1.0, hotspot(net, target=0, fraction=1.0), seed=1)
+        controller = SimulationController(engine, be=be, stall_limit=30)
+        report = controller.run(5000)
+        assert report.overloaded
+        assert report.cycles < 5000 * 2  # stopped early, did not run away
+
+    def test_deltas_counted_from_sequential_engine(self):
+        _net, engine, controller = self.make(engine_cls=SequentialEngine)
+        report = controller.run(100)
+        assert report.total_deltas == engine.metrics.total_deltas
+        assert report.total_deltas >= engine.cfg.n_routers * report.cycles
+
+    def test_cycle_engine_uses_floor_estimate(self):
+        _net, engine, controller = self.make(engine_cls=CycleEngine)
+        report = controller.run(48)
+        assert report.total_deltas == engine.cfg.n_routers * report.cycles
+
+    def test_period_validation(self):
+        net = NetworkConfig(2, 2)
+        with pytest.raises(ValueError):
+            SimulationController(
+                CycleEngine(net), period=OUTPUT_BUFFER_DEPTH + 1
+            )
+
+    def test_default_period_is_buffer_size(self):
+        net = NetworkConfig(2, 2)
+        controller = SimulationController(CycleEngine(net))
+        assert controller.period == min(VC_STIMULI_BUFFER_DEPTH, OUTPUT_BUFFER_DEPTH)

@@ -1,0 +1,52 @@
+"""Scale tests: the simulator's full 256-router range (section 6:
+"can simulate any size of network from 2 to 256 routers")."""
+
+import pytest
+
+from repro.engines import CycleEngine, SequentialEngine
+from repro.noc import NetworkConfig
+from repro.traffic import BernoulliBeTraffic, TrafficDriver, uniform_random
+
+from tests.helpers import PacketDriver, be_packet
+
+
+class TestFullScale:
+    def test_256_router_torus_runs(self):
+        cfg = NetworkConfig(16, 16, topology="torus")
+        engine = SequentialEngine(cfg)
+        be = BernoulliBeTraffic(cfg, 0.03, uniform_random(cfg), seed=11)
+        driver = TrafficDriver(engine, be=be)
+        driver.run(40)
+        assert engine.cycle == 40
+        assert len(engine.injections) > 0
+        # delta floor: 256 per cycle
+        assert all(d >= 256 for d in engine.metrics.per_cycle)
+
+    def test_256_router_delivery(self):
+        cfg = NetworkConfig(16, 16)
+        engine = CycleEngine(cfg)
+        driver = PacketDriver(engine)
+        # corner-to-corner worst-case paths
+        pairs = [(0, 255), (255, 0), (15, 240), (120, 7)]
+        for seq, (src, dest) in enumerate(pairs):
+            driver.send(be_packet(cfg, src, dest, nbytes=10, seq=seq), vc=2)
+        driver.run_until_drained(max_cycles=500)
+        assert len(driver.delivered) == len(pairs)
+
+    def test_minimum_1x2_network(self):
+        cfg = NetworkConfig(1, 2)  # "from 1-by-2" (section 7.1)
+        engine = CycleEngine(cfg)
+        driver = PacketDriver(engine)
+        driver.send(be_packet(cfg, 0, 1), vc=2)
+        driver.send(be_packet(cfg, 1, 0, seq=1), vc=3)
+        driver.run_until_drained()
+        assert len(driver.delivered) == 2
+
+    def test_asymmetric_networks(self):
+        for shape in ((2, 8), (8, 2), (16, 1)):
+            cfg = NetworkConfig(*shape, topology="torus")
+            engine = CycleEngine(cfg)
+            driver = PacketDriver(engine)
+            driver.send(be_packet(cfg, 0, cfg.n_routers - 1), vc=2)
+            driver.run_until_drained(max_cycles=400)
+            assert len(driver.delivered) == 1

@@ -1,0 +1,110 @@
+"""Hypothesis stateful tests: the FIFO structures against pure models.
+
+The FlitQueue ring buffer and the platform CyclicBuffer are the two
+structures every flit flows through; these rule-based machines drive
+them with arbitrary operation sequences against a plain-list model.
+"""
+
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.noc.router import FlitQueue, ProtocolError
+from repro.platform.cyclic_buffer import CyclicBuffer
+
+
+class FlitQueueMachine(RuleBasedStateMachine):
+    DEPTH = 4
+
+    def __init__(self):
+        super().__init__()
+        self.queue = FlitQueue(self.DEPTH)
+        self.model = []
+
+    @rule(word=st.integers(0, (1 << 18) - 1))
+    def push(self, word):
+        if len(self.model) == self.DEPTH:
+            try:
+                self.queue.push(word)
+                raise AssertionError("push on full queue must raise")
+            except ProtocolError:
+                pass
+            # non-strict mode drops silently
+            before = self.queue.contents()
+            self.queue.push(word, strict=False)
+            assert self.queue.contents() == before
+        else:
+            self.queue.push(word)
+            self.model.append(word)
+
+    @precondition(lambda self: self.model)
+    @rule()
+    def pop(self):
+        assert self.queue.pop() == self.model.pop(0)
+
+    @precondition(lambda self: self.model)
+    @rule()
+    def head(self):
+        assert self.queue.head() == self.model[0]
+
+    @rule()
+    def copy_is_independent(self):
+        clone = self.queue.copy()
+        assert clone == self.queue
+        if self.model:
+            clone.pop()
+            assert clone != self.queue or not self.model
+
+    @invariant()
+    def count_matches(self):
+        assert self.queue.count == len(self.model)
+        assert self.queue.contents() == self.model
+
+
+class CyclicBufferMachine(RuleBasedStateMachine):
+    CAPACITY = 5
+
+    def __init__(self):
+        super().__init__()
+        self.buffer = CyclicBuffer(self.CAPACITY)
+        self.model = []
+        self.clock = 0
+
+    @rule(payload=st.integers())
+    def write(self, payload):
+        self.clock += 1
+        if len(self.model) == self.CAPACITY:
+            assert not self.buffer.try_write(self.clock, payload)
+        else:
+            self.buffer.write(self.clock, payload)
+            self.model.append((self.clock, payload))
+
+    @precondition(lambda self: self.model)
+    @rule()
+    def read(self):
+        entry = self.buffer.read()
+        want = self.model.pop(0)
+        assert (entry.timestamp, entry.payload) == want
+
+    @rule()
+    def try_read_consistent(self):
+        if not self.model:
+            assert self.buffer.try_read() is None
+        else:
+            entry = self.buffer.try_read()
+            want = self.model.pop(0)
+            assert (entry.timestamp, entry.payload) == want
+
+    @rule()
+    def discard(self):
+        assert self.buffer.discard_all() == len(self.model)
+        self.model.clear()
+
+    @invariant()
+    def counts_match(self):
+        assert self.buffer.count == len(self.model)
+        assert self.buffer.is_empty == (not self.model)
+        assert self.buffer.is_full == (len(self.model) == self.CAPACITY)
+
+
+TestFlitQueueStateful = FlitQueueMachine.TestCase
+TestCyclicBufferStateful = CyclicBufferMachine.TestCase

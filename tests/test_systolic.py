@@ -1,0 +1,83 @@
+"""Tests for the systolic matrix-multiply array (paper section 7.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.seqsim.systolic import SystolicMatmul
+
+
+def reference(a, b, acc_bits=24):
+    return (np.array(a, dtype=np.int64) @ np.array(b, dtype=np.int64)) % (1 << acc_bits)
+
+
+class TestSystolicMatmul:
+    def test_identity(self):
+        n = 3
+        eye = [[1 if i == j else 0 for j in range(n)] for i in range(n)]
+        m = [[i * n + j + 1 for j in range(n)] for i in range(n)]
+        array = SystolicMatmul(n)
+        array.load(eye, m)
+        assert array.run() == m
+
+    def test_known_product(self):
+        a = [[1, 2], [3, 4]]
+        b = [[5, 6], [7, 8]]
+        array = SystolicMatmul(2)
+        array.load(a, b)
+        assert np.array_equal(np.array(array.run()), reference(a, b))
+
+    def test_4x4_random(self):
+        rng = np.random.default_rng(42)
+        a = rng.integers(0, 256, size=(4, 4)).tolist()
+        b = rng.integers(0, 256, size=(4, 4)).tolist()
+        array = SystolicMatmul(4)
+        array.load(a, b)
+        assert np.array_equal(np.array(array.run()), reference(a, b))
+
+    def test_accumulator_wraps(self):
+        """Fixed-width hardware semantics: the accumulator is modular."""
+        n = 2
+        a = [[255] * n] * n
+        b = [[255] * n] * n
+        array = SystolicMatmul(n, acc_bits=16)
+        array.load(a, b)
+        expected = (np.array(a) @ np.array(b)) % (1 << 16)
+        assert np.array_equal(np.array(array.run()), expected)
+
+    def test_static_schedule_cost(self):
+        """Sequential simulation cost: (cells + feeders) deltas/cycle."""
+        array = SystolicMatmul(3)
+        array.load([[0] * 3] * 3, [[0] * 3] * 3)
+        array.run()
+        units = 3 * 3 + 3 + 3
+        assert array.metrics.per_cycle == [units] * array.compute_cycles
+
+    def test_extra_cycles_do_not_corrupt(self):
+        """Once the valid tail passes, accumulators freeze."""
+        a = [[1, 2], [3, 4]]
+        b = [[5, 6], [7, 8]]
+        array = SystolicMatmul(2)
+        array.load(a, b)
+        array.run()
+        first = array.result()
+        array.sim.run(10)
+        assert array.result() == first
+
+    def test_shape_validation(self):
+        array = SystolicMatmul(2)
+        with pytest.raises(ValueError):
+            array.load([[1, 2]], [[1, 2], [3, 4]])
+        with pytest.raises(ValueError):
+            SystolicMatmul(0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.data())
+    def test_matches_numpy_property(self, data):
+        n = data.draw(st.integers(2, 4))
+        a = [[data.draw(st.integers(0, 255)) for _ in range(n)] for _ in range(n)]
+        b = [[data.draw(st.integers(0, 255)) for _ in range(n)] for _ in range(n)]
+        array = SystolicMatmul(n)
+        array.load(a, b)
+        assert np.array_equal(np.array(array.run()), reference(a, b))
