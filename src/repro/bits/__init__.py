@@ -7,7 +7,7 @@ paper's Table 1) is ultimately represented as a :class:`BitVector` or a
 packed :class:`StructLayout` over one.
 """
 
-from repro.bits.bitvector import BitVector, bv, concat, ones, zeros
+from repro.bits.bitvector import BitVector, bv, concat, ones, parity, zeros
 from repro.bits.packing import ArrayField, Field, StructLayout
 
 __all__ = [
@@ -18,5 +18,6 @@ __all__ = [
     "bv",
     "concat",
     "ones",
+    "parity",
     "zeros",
 ]

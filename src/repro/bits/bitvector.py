@@ -263,3 +263,18 @@ def concat(*parts: BitVector) -> BitVector:
         width += part.width
         value = (value << part.width) | part.value
     return BitVector(width, value)
+
+
+def parity(value: int | BitVector) -> int:
+    """Even-parity bit of an unsigned word: 1 iff an odd number of bits
+    are set.
+
+    This is the check bit the fault-protected state memory stores next
+    to every packed word — a single-bit upset anywhere in the word flips
+    the parity and is therefore always detectable.
+    """
+    if isinstance(value, BitVector):
+        value = value.value
+    if value < 0:
+        raise ValueError("parity is defined for unsigned words")
+    return value.bit_count() & 1

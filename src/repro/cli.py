@@ -7,6 +7,7 @@ Commands:
 * ``resources``   — the Table-2 FPGA resource report
 * ``simulate``    — run a workload on any engine and print statistics
 * ``trace``       — run the RTL engine and dump a VCD waveform
+* ``faults``      — fault-injection campaigns with rollback recovery
 * ``experiments`` — regenerate the paper's tables and figures
 """
 
@@ -148,6 +149,47 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    from repro.faults import CampaignConfig, FaultDomain, FaultKind, run_campaign
+
+    if args.action != "campaign":
+        print(f"unknown faults action {args.action!r}; try 'campaign'")
+        return 2
+    domains = {
+        "state": (FaultDomain.STATE,),
+        "link": (FaultDomain.LINK,),
+        "both": (FaultDomain.STATE, FaultDomain.LINK),
+    }[args.domains]
+    kinds = (FaultKind.TRANSIENT,)
+    if args.bursts:
+        kinds = kinds + (FaultKind.BURST,)
+    config = CampaignConfig(
+        width=args.width,
+        height=args.height,
+        topology=args.topology,
+        n_faults=args.faults,
+        seed=args.seed,
+        load=args.load,
+        spacing=args.spacing,
+        domains=domains,
+        kinds=kinds,
+        include_flap=args.flap,
+    )
+    start = time.perf_counter()
+    report = run_campaign(config)
+    elapsed = time.perf_counter() - start
+    print(report.render())
+    print(f"\ncampaign wall time: {elapsed:.1f} s")
+    if args.verbose:
+        print()
+        for outcome in report.outcomes:
+            mark = "DETECTED " if outcome.detected else "absorbed "
+            print(f"  {mark} {outcome.fault.describe()}")
+            if outcome.error:
+                print(f"            {outcome.error[:100]}")
+    return 1 if report.recovery_exhausted else 0
+
+
 def cmd_experiments(args) -> int:
     from repro.experiments.__main__ import main as run_experiments
 
@@ -189,6 +231,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cycles", type=int, default=50)
     p.add_argument("--seed", type=int, default=0xC11)
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("faults", help="fault-injection campaign with recovery")
+    p.add_argument("action", nargs="?", default="campaign", help="campaign")
+    _network_args(p)
+    p.set_defaults(width=4, height=4)
+    p.add_argument("--faults", type=int, default=100, help="faults to inject")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--load", type=float, default=0.10)
+    p.add_argument("--spacing", type=int, default=4, help="cycles between strikes")
+    p.add_argument(
+        "--domains", choices=["state", "link", "both"], default="both",
+        help="which memories to strike",
+    )
+    p.add_argument("--bursts", action="store_true", help="also sample burst faults")
+    p.add_argument(
+        "--flap", action="store_true",
+        help="end with a livelock-inducing flap fault (watchdog + quarantine)",
+    )
+    p.add_argument("--verbose", action="store_true", help="per-fault outcomes")
+    p.set_defaults(fn=cmd_faults)
 
     p = sub.add_parser("experiments", help="regenerate tables/figures")
     p.add_argument("names", nargs="*", help="fig1 table1 table2 table3 table4 deltas fig5")

@@ -14,12 +14,23 @@ module      reproduces
 ``table4``  Table 4 — profile of the simulation steps
 ``deltas``  Section 6 — extra delta cycles vs. offered load
 ``fig5``    Figure 5 — a dynamic-schedule trace on the 3-block system
+``resilience``  fault-injection campaign: parity/watchdog detection
+            plus rollback recovery (robustness extension)
 ==========  ========================================================
 
 Run any of them with ``python -m repro.experiments <name>``.
 """
 
-from repro.experiments import deltas, fig1, fig5, table1, table2, table3, table4
+from repro.experiments import (
+    deltas,
+    fig1,
+    fig5,
+    resilience,
+    table1,
+    table2,
+    table3,
+    table4,
+)
 
 ALL = {
     "fig1": fig1,
@@ -29,6 +40,17 @@ ALL = {
     "table4": table4,
     "deltas": deltas,
     "fig5": fig5,
+    "resilience": resilience,
 }
 
-__all__ = ["ALL", "deltas", "fig1", "fig5", "table1", "table2", "table3", "table4"]
+__all__ = [
+    "ALL",
+    "deltas",
+    "fig1",
+    "fig5",
+    "resilience",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+]

@@ -1,0 +1,118 @@
+"""Structured failure contract of the fault-tolerant simulator.
+
+The sequential simulator's premise — every architectural register lives
+in a packed memory word — means a single corrupted bit anywhere silently
+invalidates a whole run unless it is *detected*.  This module defines
+the exception hierarchy every detection mechanism raises:
+
+* :class:`ParityError` — the per-word parity maintained by the packed
+  state memory found a word whose stored parity bit disagrees with its
+  contents (checked at every bank swap, i.e. at every system-cycle
+  boundary);
+* :class:`LivelockError` — the convergence watchdog found a system cycle
+  whose delta-cycle count exceeded its bound, carrying the set of still
+  unstable units and the wires that kept flapping;
+* :class:`RecoveryExhaustedError` — the rollback/retry machinery of the
+  platform controller gave up after its retry budget.
+
+The module deliberately imports nothing from the simulator packages so
+that ``seqsim``/``platform`` can raise these errors without import
+cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+
+class FaultDetectedError(RuntimeError):
+    """Base class: a hardware-level integrity check fired."""
+
+
+class ParityError(FaultDetectedError):
+    """A packed state word failed its parity check at a bank swap.
+
+    ``corrupted`` lists ``(bank, address)`` pairs — the bank (0/1) and
+    the unit address of every word whose parity bit disagrees with its
+    contents.
+    """
+
+    def __init__(self, corrupted: Sequence[Tuple[int, int]]) -> None:
+        self.corrupted: Tuple[Tuple[int, int], ...] = tuple(corrupted)
+        where = ", ".join(f"bank {b} addr {a}" for b, a in self.corrupted[:8])
+        more = "" if len(self.corrupted) <= 8 else f" (+{len(self.corrupted) - 8} more)"
+        super().__init__(
+            f"state memory parity check failed for {len(self.corrupted)} "
+            f"word(s): {where}{more}"
+        )
+
+    @property
+    def addresses(self) -> Tuple[int, ...]:
+        """Unit addresses of the corrupted words (bank-agnostic)."""
+        return tuple(sorted({a for _b, a in self.corrupted}))
+
+
+class ConvergenceError(FaultDetectedError):
+    """A system cycle failed to settle.
+
+    For the NoC this should be impossible (the wire dependency graph is
+    acyclic: state -> room -> forward), so a trip of the bound means
+    either corrupted hardware or a modelling bug — both must fail loudly.
+    """
+
+
+class LivelockError(ConvergenceError):
+    """The delta-cycle watchdog bound was exceeded within one system
+    cycle: some subset of units keeps re-triggering evaluation forever.
+
+    Attributes
+    ----------
+    cycle:
+        The system cycle that failed to settle.
+    deltas:
+        Delta cycles executed when the watchdog tripped.
+    limit:
+        The bound that was exceeded (``k x n_units``).
+    unstable_units:
+        Indices of the units still marked non-stable at trip time.
+    suspect_wires:
+        Names of wires whose values changed anomalously often this
+        cycle — the likely flapping links (empty when no wire stood out).
+    """
+
+    def __init__(
+        self,
+        cycle: int,
+        deltas: int,
+        limit: int,
+        unstable_units: Sequence[int],
+        suspect_wires: Sequence[str] = (),
+    ) -> None:
+        self.cycle = cycle
+        self.deltas = deltas
+        self.limit = limit
+        self.unstable_units: Tuple[int, ...] = tuple(unstable_units)
+        self.suspect_wires: Tuple[str, ...] = tuple(suspect_wires)
+        units = ", ".join(str(u) for u in self.unstable_units[:16])
+        if len(self.unstable_units) > 16:
+            units += f", ... (+{len(self.unstable_units) - 16})"
+        message = (
+            f"cycle {cycle}: {deltas} delta cycles exceed the watchdog "
+            f"limit {limit} without settling; unstable routers: [{units}]"
+        )
+        if self.suspect_wires:
+            message += f"; flapping wires: {list(self.suspect_wires[:8])}"
+        super().__init__(message)
+
+
+class RecoveryExhaustedError(RuntimeError):
+    """Rollback recovery could not get past a persistent fault within
+    the retry budget."""
+
+    def __init__(self, attempts: int, last_error: BaseException) -> None:
+        self.attempts = attempts
+        self.last_error = last_error
+        super().__init__(
+            f"recovery gave up after {attempts} rollback attempt(s); "
+            f"last failure: {type(last_error).__name__}: {last_error}"
+        )

@@ -58,15 +58,21 @@ class Checkpoint:
 
     @staticmethod
     def from_json(text: str) -> "Checkpoint":
-        data = json.loads(text)
-        return Checkpoint(
-            cycle=data["cycle"],
-            width=data["width"],
-            height=data["height"],
-            topology=data["topology"],
-            core_words=tuple((w, int(v, 16)) for w, v in data["core_words"]),
-            iface_words=tuple((w, int(v, 16)) for w, v in data["iface_words"]),
-        )
+        try:
+            data = json.loads(text)
+            return Checkpoint(
+                cycle=data["cycle"],
+                width=data["width"],
+                height=data["height"],
+                topology=data["topology"],
+                core_words=tuple((w, int(v, 16)) for w, v in data["core_words"]),
+                iface_words=tuple((w, int(v, 16)) for w, v in data["iface_words"]),
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            # json.JSONDecodeError is a ValueError: truncated or garbled
+            # text, missing keys and malformed words all surface as the
+            # one checkpoint-domain error.
+            raise CheckpointError(f"unreadable checkpoint: {exc}") from exc
 
 
 def save_checkpoint(engine) -> Checkpoint:
@@ -122,6 +128,8 @@ def restore_checkpoint(engine, checkpoint: Checkpoint) -> None:
         engine.iface_states[r] = unpack_stimuli(rc, BitVector(stim_width, stim_value))
     engine.cycle = checkpoint.cycle
     # Sequential engines keep packed shadows of the committed state.
+    # `initialize` writes *both* banks (with fresh parity), so a restore
+    # also heals any corrupted word a fault left behind in either bank.
     if getattr(engine, "packed", False):
         for r in range(cfg.n_routers):
-            engine.statemem.write_current(r, engine._pack_unit(r))
+            engine.statemem.initialize(r, engine._pack_unit(r))

@@ -198,6 +198,12 @@ class Network:
         self.cycle = 0
         self.injections: List[InjectionRecord] = []
         self.ejections: List[EjectionRecord] = []
+        #: callables invoked at the top of every :meth:`step` — the
+        #: fault-injection campaign's hook point (empty in normal runs).
+        self.pre_step_hooks: List = []
+        #: directed links (router, out_port) taken out of service by the
+        #: fault-recovery machinery; routes avoid them.
+        self.quarantined_links: set = set()
         # Wire buffers (committed values of the last completed cycle).
         n = cfg.n_routers
         self.fwd_in: List[List[int]] = [[0] * rc.n_ports for _ in range(n)]
@@ -235,6 +241,19 @@ class Network:
     def injection_pending(self, router: int, vc: int) -> bool:
         """True while the head register still holds an unsent flit."""
         return bool(self.iface_states[router].inj_valid[vc])
+
+    # -- degraded mode -------------------------------------------------------
+    def quarantine_link(self, router: int, port: int) -> None:
+        """Take the directed link ``router --port-->`` out of service.
+
+        The routing table is regenerated so no future HEAD flit routes
+        over the link; traffic gracefully degrades onto surviving paths.
+        Packets whose wormhole already spans the dead link are lost —
+        recovery rolls the simulation back to a checkpoint that predates
+        the failure, so in the recovery flow nothing is in flight on it.
+        """
+        self.quarantined_links.add((router, int(port)))
+        self.routing.recompute_avoiding(self.quarantined_links)
 
     # -- the golden system-cycle step ---------------------------------------
     def compute_wires(self) -> Tuple[List[int], List[int], List[List[int]], List]:
@@ -304,6 +323,8 @@ class Network:
 
     def step(self) -> None:
         """Advance the whole network by one system cycle."""
+        for hook in self.pre_step_hooks:
+            hook(self)
         n = self.cfg.n_routers
         iface_choice, _iface_word, fwd_out, grants = self.compute_wires()
 

@@ -14,10 +14,15 @@ hot simulation path cheap.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from collections import deque
+from typing import Iterable, List, Sequence, Set, Tuple
 
 from repro.noc.config import NetworkConfig, Port
 from repro.noc.topology import Topology
+
+
+class UnroutableError(RuntimeError):
+    """No path exists between two routers after link quarantine."""
 
 
 def route_port(net: NetworkConfig, current: int, dest: int) -> Port:
@@ -79,6 +84,68 @@ class RoutingTable:
             if guard > self.net.n_routers * 2:
                 raise RuntimeError("routing loop detected")
         return path
+
+    def recompute_avoiding(self, blocked: Iterable[Tuple[int, int]]) -> None:
+        """Regenerate the table so no route crosses a blocked link.
+
+        ``blocked`` holds directed links as ``(router, out_port)`` pairs
+        — the quarantine set of the fault-recovery machinery.  Routes
+        are recomputed as shortest paths (BFS) over the surviving links;
+        among equal-length options the original dimension-order port is
+        preferred, then the lowest port index, so the result stays
+        deterministic and as close to XY as the quarantine allows.
+
+        The rows are mutated *in place*: routers hold bound references
+        to their row, so the new routes take effect immediately for
+        every HEAD flit routed after the call.
+
+        Note: routes that leave dimension order void the dateline VC
+        scheme's deadlock-freedom proof — quarantine trades the proof
+        for availability, which is the documented degraded mode.
+        """
+        blocked_set: Set[Tuple[int, int]] = {(r, int(p)) for r, p in blocked}
+        net = self.net
+        topo = self._topo
+        n = net.n_routers
+        n_ports = net.router.n_ports
+        for dest in range(n):
+            # BFS from the destination over *reversed* surviving links.
+            dist = [-1] * n
+            dist[dest] = 0
+            frontier = deque([dest])
+            while frontier:
+                v = frontier.popleft()
+                for q in range(1, n_ports):
+                    u = topo.neighbor(v, Port(q))
+                    if u is None:
+                        continue
+                    p_at_u = int(Port(q).opposite)  # port at u leading to v
+                    if (u, p_at_u) in blocked_set:
+                        continue
+                    if dist[u] == -1:
+                        dist[u] = dist[v] + 1
+                        frontier.append(u)
+            for r in range(n):
+                if r == dest:
+                    self.table[r][dest] = Port.LOCAL
+                    continue
+                if dist[r] == -1:
+                    raise UnroutableError(
+                        f"router {r} cannot reach {dest}: quarantined links "
+                        f"{sorted(blocked_set)} disconnect the fabric"
+                    )
+                preferred = [int(self.table[r][dest])] + list(range(1, n_ports))
+                for p in preferred:
+                    if p == int(Port.LOCAL) or (r, p) in blocked_set:
+                        continue
+                    nb = topo.neighbor(r, Port(p))
+                    if nb is not None and dist[nb] == dist[r] - 1:
+                        self.table[r][dest] = Port(p)
+                        break
+                else:  # pragma: no cover - dist bookkeeping guarantees a port
+                    raise UnroutableError(
+                        f"no surviving port at router {r} towards {dest}"
+                    )
 
     def links_on_path(self, src: int, dest: int) -> Sequence[tuple]:
         """Directed links ``(router, out_port)`` traversed from src to dest."""

@@ -8,7 +8,8 @@ buffers (Fig. 8).  This package reproduces that control program:
   timestamped entries and under/overrun protection;
 * :mod:`repro.platform.controller` — the five-phase simulation loop
   (generate, load, simulate one period, retrieve, analyze), including
-  the overload stop and the per-phase profile of Table 4;
+  the overload stop, the per-phase profile of Table 4, and the
+  checkpoint/rollback fault-recovery machinery;
 * :mod:`repro.platform.profiler` — modelled-time profiling.
 """
 

@@ -19,19 +19,43 @@ to produce the Table 3 speed and Table 4 profile figures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import copy
+from dataclasses import dataclass, field
 from collections import deque
-from typing import Deque, Dict, List, Optional, Set, Tuple
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
+from repro.faults.errors import FaultDetectedError, LivelockError, RecoveryExhaustedError
 from repro.fpga.resources import OUTPUT_BUFFER_DEPTH, VC_STIMULI_BUFFER_DEPTH
 from repro.fpga.timing import PlatformModel
+from repro.noc.checkpoint import restore_checkpoint, save_checkpoint
 from repro.noc.config import NetworkConfig
 from repro.noc.packet import Packet, segment
-from repro.platform.cyclic_buffer import CyclicBuffer
+from repro.noc.router import ProtocolError
+from repro.platform.cyclic_buffer import (
+    BufferOverrunError,
+    BufferUnderrunError,
+    CyclicBuffer,
+)
 from repro.platform.profiler import PhaseProfiler
 from repro.stats.latency import PacketLatencyTracker
 from repro.traffic.generators import BernoulliBeTraffic, GtStreamTraffic
 from repro.traffic.stimuli import SubmitRecord
+
+
+def _copy_state(dst: Any, src: Any) -> None:
+    """Overwrite ``dst``'s attributes with a deep copy of ``src``'s.
+
+    Used to roll mutable collaborators (traffic generators, trackers,
+    delta metrics) back in place, so references other code holds to the
+    objects stay valid across a rollback.
+    """
+    src = copy.deepcopy(src)
+    if hasattr(dst, "__dict__"):
+        dst.__dict__.clear()
+        dst.__dict__.update(src.__dict__)
+    else:  # __slots__-only object
+        for slot in type(dst).__slots__:
+            setattr(dst, slot, getattr(src, slot))
 
 
 @dataclass
@@ -49,6 +73,13 @@ class SimulationReport:
     profile: PhaseProfiler
     modeled_cps: float
     wall_seconds_modeled: float
+    # -- fault-recovery accounting (all zero on a fault-free run) -------
+    fault_detections: int = 0
+    rollbacks: int = 0
+    recoveries: int = 0
+    recovery_deltas: int = 0
+    quarantined_links: Tuple[Tuple[int, int], ...] = field(default_factory=tuple)
+    recovery_exhausted: bool = False
 
 
 class SimulationController:
@@ -66,6 +97,9 @@ class SimulationController:
         fpga_rng: bool = True,
         complex_analysis: bool = False,
         stall_limit: int = 20_000,
+        checkpoint_interval: int = 0,
+        max_retries: int = 3,
+        recover_crashes: bool = True,
     ) -> None:
         self.engine = engine
         self.net: NetworkConfig = engine.cfg
@@ -118,6 +152,29 @@ class SimulationController:
         self.flits_discarded = 0
         self.overloaded = False
         self.retrieved: List = []
+
+        # -- fault recovery (section: robustness extension) -----------------
+        #: periods between architectural snapshots; 0 disables recovery
+        #: (a detected fault then propagates to the caller unchanged).
+        self.checkpoint_interval = checkpoint_interval
+        #: rollback attempts allowed per fault before giving up
+        self.max_retries = max_retries
+        self._base_period = self.period
+        self._snapshot: Optional[Dict[str, Any]] = None
+        self.fault_detections = 0
+        self.rollbacks = 0
+        self.recoveries = 0
+        self.recovery_deltas = 0
+        self.recovery_exhausted = False
+        self._consecutive_livelocks = 0
+        #: with recovery on, also treat Python-level crashes inside a
+        #: period as detected faults (a corrupted word tripping a bounds
+        #: check is the software analogue of a hardware exception)
+        self.recover_crashes = recover_crashes
+        #: ``(engine cycle at detection, exception class name, message)``
+        #: per detected fault, in detection order — the campaign's
+        #: attribution record.
+        self.fault_log: List[Tuple[int, str, str]] = []
 
     # -- phase 1: generate ------------------------------------------------------
     def _generate_period(self, start_cycle: int) -> int:
@@ -221,48 +278,207 @@ class SimulationController:
         if self.tracker is not None:
             self.tracker.collect(self.engine)
 
+    # -- recovery: snapshot / rollback -----------------------------------------
+    #: detected faults the controller will attempt to recover from.  A
+    #: parity hit, a livelock trip or a buffer protocol violation all
+    #: mean "this period's results are suspect: roll back and retry".
+    RECOVERABLE = (
+        FaultDetectedError,
+        ProtocolError,
+        BufferOverrunError,
+        BufferUnderrunError,
+    )
+    #: crash classes additionally caught when ``recover_crashes`` is set
+    CRASH_RECOVERABLE = (ValueError, IndexError, KeyError, OverflowError)
+
+    def _take_snapshot(self) -> None:
+        """Capture everything a rollback needs: the engine's
+        architectural state (via the checkpoint machinery — exactly what
+        the ARM reads back over the memory interface) plus the control
+        software's own mutable state."""
+        engine = self.engine
+        self._snapshot = {
+            "checkpoint": save_checkpoint(engine),
+            "vc_buffers": copy.deepcopy(self.vc_buffers),
+            "output_buffers": copy.deepcopy(self.output_buffers),
+            "stimuli_backlog": copy.deepcopy(self.stimuli_backlog),
+            "be": copy.deepcopy(self.be),
+            "gt": copy.deepcopy(self.gt),
+            "tracker": copy.deepcopy(self.tracker),
+            "metrics": copy.deepcopy(getattr(engine, "metrics", None)),
+            "be_vc_toggle": list(self._be_vc_toggle),
+            "stall": dict(self._stall),
+            "ej_seen": self._ej_seen,
+            "flits": (
+                self.flits_generated,
+                self.flits_loaded,
+                self.flits_retrieved,
+                self.flits_discarded,
+            ),
+            "retrieved_len": len(self.retrieved),
+            "injections_len": len(engine.injections),
+            "ejections_len": len(engine.ejections),
+            "prev_retr_analyze": self._prev_retr_analyze_seconds,
+            "overlap_credit": self._overlap_credit,
+        }
+
+    def _rollback(self) -> None:
+        """Restore the last good snapshot.  The snapshot itself stays
+        pristine (everything is copied out), so one snapshot supports
+        any number of rollbacks."""
+        snap = self._snapshot
+        if snap is None:
+            raise RuntimeError("rollback without a snapshot")
+        engine = self.engine
+        restore_checkpoint(engine, snap["checkpoint"])
+        del engine.injections[snap["injections_len"] :]
+        del engine.ejections[snap["ejections_len"] :]
+        self.vc_buffers = copy.deepcopy(snap["vc_buffers"])
+        self.output_buffers = copy.deepcopy(snap["output_buffers"])
+        self.stimuli_backlog = copy.deepcopy(snap["stimuli_backlog"])
+        for live, saved in (
+            (self.be, snap["be"]),
+            (self.gt, snap["gt"]),
+            (self.tracker, snap["tracker"]),
+            (getattr(engine, "metrics", None), snap["metrics"]),
+        ):
+            if live is not None and saved is not None:
+                _copy_state(live, saved)
+        self._be_vc_toggle = list(snap["be_vc_toggle"])
+        self._stall = dict(snap["stall"])
+        self._ej_seen = snap["ej_seen"]
+        (
+            self.flits_generated,
+            self.flits_loaded,
+            self.flits_retrieved,
+            self.flits_discarded,
+        ) = snap["flits"]
+        del self.retrieved[snap["retrieved_len"] :]
+        self._prev_retr_analyze_seconds = snap["prev_retr_analyze"]
+        self._overlap_credit = snap["overlap_credit"]
+        self.overloaded = False
+        self.rollbacks += 1
+
+    def _wasted_deltas(self) -> int:
+        """Delta cycles burnt since the last snapshot (the work a
+        rollback discards — the recovery overhead measure)."""
+        metrics = getattr(self.engine, "metrics", None)
+        snap = self._snapshot
+        if metrics is None or snap is None or snap["metrics"] is None:
+            return 0
+        return max(0, metrics.total_deltas - snap["metrics"].total_deltas)
+
+    def _on_fault(self, exc: Exception) -> None:
+        """React to a detected fault: roll back, back off, and — on a
+        persistent livelock with a diagnosis — quarantine the suspect
+        links so the retry runs around them."""
+        self.fault_detections += 1
+        self.fault_log.append(
+            (self.engine.cycle, type(exc).__name__, str(exc))
+        )
+        self.recovery_deltas += self._wasted_deltas()
+        if isinstance(exc, LivelockError):
+            self._consecutive_livelocks += 1
+        else:
+            self._consecutive_livelocks = 0
+        self._rollback()
+        # Exponential backoff: a shorter period reaches the next known
+        # good snapshot point sooner and narrows the fault window.
+        self.period = max(1, self.period // 2)
+        if (
+            self._consecutive_livelocks >= 2
+            and isinstance(exc, LivelockError)
+            and exc.suspect_wires
+            and hasattr(self.engine, "quarantine_wires")
+        ):
+            # The same links flap on every retry: the fault is permanent.
+            # Take them out of service and reroute the surviving fabric.
+            self.engine.quarantine_wires(exc.suspect_wires)
+            self._consecutive_livelocks = 0
+
     # -- the loop -------------------------------------------------------------------
-    def run(self, cycles: int) -> SimulationReport:
-        """Simulate ``cycles`` system cycles (rounded up to periods)."""
+    def _run_one_period(self) -> int:
+        """One pass through the five phases; returns delta cycles."""
         arm = self.platform.arm
         fpga = self.platform.fpga
+        generated = self._generate_period(self.engine.cycle)
+        self.profile.add("generate", arm.generate_seconds(generated, self.fpga_rng))
+        loaded = self._load_buffers()
+        load_seconds = arm.load_seconds(loaded, self.period)
+        self.profile.add("load", load_seconds)
+        deltas = self._simulate_period()
+        sim_raw = fpga.simulation_seconds(deltas)
+        overlap = (
+            arm.generate_seconds(generated, self.fpga_rng)
+            + load_seconds
+            + self._prev_retr_analyze_seconds
+            + self._overlap_credit
+        )
+        self.profile.add(
+            "simulate",
+            max(0.0, sim_raw - overlap) + arm.overhead_seconds(1),
+        )
+        self._overlap_credit = min(
+            max(0.0, overlap - sim_raw),
+            self.OVERLAP_CREDIT_PERIODS * max(overlap - self._overlap_credit, 0.0),
+        )
+        retrieved, _discarded = self._retrieve()
+        retrieve_seconds = arm.retrieve_seconds(retrieved, self.period)
+        self.profile.add("retrieve", retrieve_seconds)
+        self._analyze()
+        analyze_seconds = arm.analyze_seconds(retrieved, self.complex_analysis)
+        self.profile.add("analyze", analyze_seconds)
+        self._prev_retr_analyze_seconds = retrieve_seconds + analyze_seconds
+        return deltas
+
+    def run(self, cycles: int) -> SimulationReport:
+        """Simulate ``cycles`` system cycles (rounded up to periods).
+
+        With ``checkpoint_interval > 0`` the loop snapshots every that
+        many periods and, when a period trips a detected fault
+        (:data:`RECOVERABLE`), rolls back to the last snapshot and
+        retries with the period size halved.  ``max_retries`` failures
+        in a row raise :class:`RecoveryExhaustedError`.
+        """
         periods = 0
+        completed = 0
         total_deltas = 0
-        while periods * self.period < cycles and not self.overloaded:
-            generated = self._generate_period(self.engine.cycle)
-            self.profile.add(
-                "generate", arm.generate_seconds(generated, self.fpga_rng)
-            )
-            loaded = self._load_buffers()
-            load_seconds = arm.load_seconds(loaded, self.period)
-            self.profile.add("load", load_seconds)
-            deltas = self._simulate_period()
+        recovery = self.checkpoint_interval > 0
+        retries = 0
+        catchable = self.RECOVERABLE
+        if recovery and self.recover_crashes:
+            catchable = catchable + self.CRASH_RECOVERABLE
+        if recovery:
+            self._take_snapshot()
+        while completed < cycles and not self.overloaded:
+            try:
+                deltas = self._run_one_period()
+            except catchable as exc:
+                if not recovery:
+                    raise
+                retries += 1
+                if retries > self.max_retries:
+                    self.recovery_exhausted = True
+                    raise RecoveryExhaustedError(retries - 1, exc) from exc
+                self._on_fault(exc)
+                continue
             total_deltas += deltas
-            sim_raw = fpga.simulation_seconds(deltas)
-            overlap = (
-                arm.generate_seconds(generated, self.fpga_rng)
-                + load_seconds
-                + self._prev_retr_analyze_seconds
-                + self._overlap_credit
-            )
-            self.profile.add(
-                "simulate",
-                max(0.0, sim_raw - overlap) + arm.overhead_seconds(1),
-            )
-            self._overlap_credit = min(
-                max(0.0, overlap - sim_raw),
-                self.OVERLAP_CREDIT_PERIODS * max(overlap - self._overlap_credit, 0.0),
-            )
-            retrieved, _discarded = self._retrieve()
-            retrieve_seconds = arm.retrieve_seconds(retrieved, self.period)
-            self.profile.add("retrieve", retrieve_seconds)
-            self._analyze()
-            analyze_seconds = arm.analyze_seconds(retrieved, self.complex_analysis)
-            self.profile.add("analyze", analyze_seconds)
-            self._prev_retr_analyze_seconds = retrieve_seconds + analyze_seconds
+            completed += self.period
             periods += 1
+            if recovery:
+                if retries:
+                    # The retry ran clean: the rollback recovered the run.
+                    # Snapshot immediately so the next fault does not roll
+                    # back across the region we just paid to re-execute.
+                    self.recoveries += 1
+                    retries = 0
+                    self._take_snapshot()
+                elif periods % self.checkpoint_interval == 0:
+                    self._take_snapshot()
+                self._consecutive_livelocks = 0
+                self.period = self._base_period
         wall = self.profile.total
-        executed = periods * self.period
+        executed = completed
         return SimulationReport(
             cycles=executed,
             periods=periods,
@@ -275,4 +491,10 @@ class SimulationController:
             profile=self.profile,
             modeled_cps=executed / wall if wall > 0 else 0.0,
             wall_seconds_modeled=wall,
+            fault_detections=self.fault_detections,
+            rollbacks=self.rollbacks,
+            recoveries=self.recoveries,
+            recovery_deltas=self.recovery_deltas,
+            quarantined_links=tuple(sorted(getattr(self.engine, "quarantined_links", ()))),
+            recovery_exhausted=self.recovery_exhausted,
         )

@@ -16,11 +16,16 @@ T = TypeVar("T")
 
 
 class BufferOverrunError(RuntimeError):
-    """Write into a full cyclic buffer."""
+    """Write into a full cyclic buffer.
+
+    The message carries the buffer's read/write pointer state so an
+    over-run seen deep inside a five-phase run can be debugged without
+    re-running under a probe.
+    """
 
 
 class BufferUnderrunError(RuntimeError):
-    """Read from an empty cyclic buffer."""
+    """Read from an empty cyclic buffer (pointer state in the message)."""
 
 
 @dataclass(frozen=True)
@@ -42,7 +47,10 @@ class CyclicBuffer(Generic[T]):
 
     def __init__(self, capacity: int, name: str = "buffer") -> None:
         if capacity < 1:
-            raise ValueError("capacity must be positive")
+            raise ValueError(
+                f"{name}: capacity must be positive, got {capacity} "
+                "(a zero-capacity cyclic buffer can neither fill nor drain)"
+            )
         self.capacity = capacity
         self.name = name
         self._entries: List[Optional[TimestampedEntry[T]]] = [None] * capacity
@@ -68,17 +76,31 @@ class CyclicBuffer(Generic[T]):
     def is_full(self) -> bool:
         return self.count == self.capacity
 
+    def _pointer_state(self) -> str:
+        """Human-readable pointer state for error messages."""
+        return (
+            f"capacity={self.capacity}, count={self.count}, "
+            f"rd={self._rd} (slot {self._rd % self.capacity}), "
+            f"wr={self._wr} (slot {self._wr % self.capacity}), "
+            f"written={self.total_written}, read={self.total_read}"
+        )
+
     # -- access -------------------------------------------------------------
     def write(self, timestamp: int, payload: T) -> None:
         if self.is_full:
-            raise BufferOverrunError(f"{self.name}: write to full buffer")
+            raise BufferOverrunError(
+                f"{self.name}: write to full buffer at t={timestamp} "
+                f"({self._pointer_state()})"
+            )
         self._entries[self._wr % self.capacity] = TimestampedEntry(timestamp, payload)
         self._wr = (self._wr + 1) % (2 * self.capacity)
         self.total_written += 1
 
     def read(self) -> TimestampedEntry[T]:
         if self.is_empty:
-            raise BufferUnderrunError(f"{self.name}: read from empty buffer")
+            raise BufferUnderrunError(
+                f"{self.name}: read from empty buffer ({self._pointer_state()})"
+            )
         entry = self._entries[self._rd % self.capacity]
         self._rd = (self._rd + 1) % (2 * self.capacity)
         self.total_read += 1
@@ -87,10 +109,28 @@ class CyclicBuffer(Generic[T]):
 
     def peek(self) -> TimestampedEntry[T]:
         if self.is_empty:
-            raise BufferUnderrunError(f"{self.name}: peek on empty buffer")
+            raise BufferUnderrunError(
+                f"{self.name}: peek on empty buffer ({self._pointer_state()})"
+            )
         entry = self._entries[self._rd % self.capacity]
         assert entry is not None
         return entry
+
+    def inject_fault(self, offset: int, xor_mask: int) -> None:
+        """Corrupt the payload of the ``offset``-th pending entry in
+        place (an SEU in the buffer BlockRAM).  The payload must be an
+        int-encoded word; the timestamp is preserved."""
+        if not 0 <= offset < self.count:
+            raise IndexError(
+                f"{self.name}: fault offset {offset} outside pending entries "
+                f"({self._pointer_state()})"
+            )
+        slot = (self._rd + offset) % self.capacity
+        entry = self._entries[slot]
+        assert entry is not None
+        if not isinstance(entry.payload, int):
+            raise TypeError(f"{self.name}: can only corrupt int payloads")
+        self._entries[slot] = TimestampedEntry(entry.timestamp, entry.payload ^ xor_mask)
 
     def try_write(self, timestamp: int, payload: T) -> bool:
         if self.is_full:

@@ -16,9 +16,10 @@ system (section 4) and its FPGA realisation model (section 5).
   ``Network`` whose ``step()`` runs the sequential simulator.
 """
 
+from repro.faults.errors import ConvergenceError, LivelockError, ParityError
 from repro.seqsim.linkmem import LinkMemory
 from repro.seqsim.metrics import DeltaMetrics
-from repro.seqsim.scheduler import RoundRobinScheduler
+from repro.seqsim.scheduler import ConvergenceWatchdog, RoundRobinScheduler
 from repro.seqsim.sequential import (
     SequentialNetwork,
     StaticSequentialNetwork,
@@ -27,9 +28,13 @@ from repro.seqsim.sequential import (
 from repro.seqsim.statemem import PackedStateMemory
 
 __all__ = [
+    "ConvergenceError",
+    "ConvergenceWatchdog",
     "DeltaMetrics",
     "LinkMemory",
+    "LivelockError",
     "PackedStateMemory",
+    "ParityError",
     "RoundRobinScheduler",
     "SequentialNetwork",
     "StaticSequentialNetwork",

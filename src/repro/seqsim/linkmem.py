@@ -23,12 +23,21 @@ exactly like the FPGA implementation: an early-evaluated unit therefore
 reads its neighbours' *previous-cycle* outputs until they are rewritten,
 which is what triggers the re-evaluations the paper counts as extra
 delta cycles.
+
+Fault semantics (exercised by :mod:`repro.faults`): a wire can carry a
+transient value flip (:meth:`inject_value_fault`), a persistent stuck-at
+mask applied to every write (:meth:`set_stuck`), or a *flap* fault that
+makes every write look like a change to the wire's reader
+(:meth:`set_flaky`) — a pair of flapping wires between two units is the
+canonical delta-cycle livelock.  A wire can also be *quarantined*
+(:meth:`quarantine`): its value freezes and writes are ignored, the
+recovery action for a permanently faulty physical link.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 
 @dataclass(frozen=True)
@@ -65,16 +74,37 @@ class LinkMemory:
         self.stable: List[bool] = [False] * n_units
         self.value_changes = 0
         self.wire_writes = 0
+        #: per-wire count of value changes within the current system
+        #: cycle; the livelock diagnosis looks for outliers here.
+        self.changes_this_cycle: List[int] = [0] * len(self.specs)
+        # -- installed faults ------------------------------------------------
+        #: wires whose every write counts as a change for their reader.
+        self.flaky: Set[int] = set()
+        #: wire -> (and_mask, or_mask) applied to every written value.
+        self.stuck: Dict[int, Tuple[int, int]] = {}
+        #: wires whose value is frozen; writes are dropped.
+        self.quarantined: Set[int] = set()
+        self.faults_injected = 0
 
     # -- lookup ------------------------------------------------------------
     def wire_id(self, name: str) -> int:
         return self._by_name[name]
+
+    def wire_name(self, wid: int) -> str:
+        return self.specs[wid].name
+
+    @property
+    def fault_free(self) -> bool:
+        """True while no persistent wire fault or quarantine is installed
+        (lets the simulator keep its fast write path)."""
+        return not (self.flaky or self.stuck or self.quarantined)
 
     # -- the HBR protocol ---------------------------------------------------
     def begin_cycle(self) -> None:
         """Reset every status bit; every unit becomes non-stable."""
         for i in range(len(self.hbr)):
             self.hbr[i] = 0
+            self.changes_this_cycle[i] = 0
         for u in range(self.n_units):
             self.stable[u] = False
 
@@ -86,14 +116,44 @@ class LinkMemory:
             out.append(self.values[wid])
         return out
 
-    def write_outputs(self, unit: int, values: Sequence[int]) -> List[int]:
-        """Write all wires ``unit`` drives; returns readers invalidated.
+    def write_wire(self, wid: int, value: int) -> Optional[int]:
+        """Write one wire, honouring installed faults.
 
+        Returns the reader index if it was de-stabilised, else ``None``.
         A write only touches the HBR bit when the value actually changed
         ("if the router writes a value to a link, which is not equal to
         the current value in the memory, it will reset this link's status
         bit to zero").
         """
+        self.wire_writes += 1
+        if value & ~self._masks[wid]:
+            raise ValueError(f"wire {self.specs[wid].name!r}: value too wide")
+        if wid in self.quarantined:
+            return None  # dead link: the frozen value stands
+        stuck = self.stuck.get(wid)
+        if stuck is not None:
+            and_mask, or_mask = stuck
+            value = (value & and_mask) | or_mask
+        changed = value != self.values[wid]
+        if wid in self.flaky:
+            changed = True  # the wire flaps: every write looks new
+        if not changed:
+            return None
+        self.values[wid] = value
+        self.value_changes += 1
+        self.changes_this_cycle[wid] += 1
+        invalidated: Optional[int] = None
+        if self.hbr[wid] == 1:
+            # The reader consumed the stale value: force re-evaluation.
+            reader = self.specs[wid].reader
+            if self.stable[reader]:
+                self.stable[reader] = False
+                invalidated = reader
+        self.hbr[wid] = 0
+        return invalidated
+
+    def write_outputs(self, unit: int, values: Sequence[int]) -> List[int]:
+        """Write all wires ``unit`` drives; returns readers invalidated."""
         invalidated: List[int] = []
         wire_ids = self.writes_by_unit[unit]
         if len(values) != len(wire_ids):
@@ -101,19 +161,9 @@ class LinkMemory:
                 f"unit {unit} drives {len(wire_ids)} wires, got {len(values)} values"
             )
         for wid, value in zip(wire_ids, values):
-            self.wire_writes += 1
-            if value & ~self._masks[wid]:
-                raise ValueError(f"wire {self.specs[wid].name!r}: value too wide")
-            if value != self.values[wid]:
-                self.values[wid] = value
-                self.value_changes += 1
-                if self.hbr[wid] == 1:
-                    # The reader consumed the stale value: force re-evaluation.
-                    reader = self.specs[wid].reader
-                    if self.stable[reader]:
-                        self.stable[reader] = False
-                        invalidated.append(reader)
-                self.hbr[wid] = 0
+            reader = self.write_wire(wid, value)
+            if reader is not None:
+                invalidated.append(reader)
         return invalidated
 
     def mark_stable(self, unit: int) -> None:
@@ -131,6 +181,76 @@ class LinkMemory:
 
     def value_of(self, name: str) -> int:
         return self.values[self._by_name[name]]
+
+    # -- fault injection -------------------------------------------------------
+    def inject_value_fault(self, wid: int, xor_mask: int) -> int:
+        """Flip bits of the stored wire value in place (transient SEU).
+
+        The HBR bit is deliberately left untouched: a reader that
+        already consumed the wire is *not* re-evaluated, exactly like
+        the hardware — the corruption propagates silently unless a
+        downstream integrity check catches it.  Returns the new value.
+        """
+        value = (self.values[wid] ^ xor_mask) & self._masks[wid]
+        self.values[wid] = value
+        self.faults_injected += 1
+        return value
+
+    def inject_hbr_fault(self, wid: int) -> None:
+        """Flip a stored HBR status bit (transient SEU in the status
+        plane): either suppresses one re-evaluation or forces a
+        spurious one."""
+        self.hbr[wid] ^= 1
+        self.faults_injected += 1
+
+    def set_stuck(self, wid: int, bit: int, value: int) -> None:
+        """Install a persistent stuck-at fault on one bit of a wire."""
+        if not 0 <= bit < self.specs[wid].width:
+            raise ValueError(f"bit {bit} out of range for wire {self.specs[wid].name!r}")
+        and_mask, or_mask = self.stuck.get(wid, (self._masks[wid], 0))
+        if value:
+            or_mask |= 1 << bit
+        else:
+            and_mask &= ~(1 << bit)
+        self.stuck[wid] = (and_mask, or_mask)
+        # The fault acts on the stored value immediately.
+        self.values[wid] = (self.values[wid] & and_mask) | or_mask
+        self.faults_injected += 1
+
+    def set_flaky(self, wid: int) -> None:
+        """Install a flap fault: every write to the wire registers as a
+        change for its reader.  Two flapping wires forming a cycle
+        between two units livelock the dynamic schedule."""
+        self.flaky.add(wid)
+        self.faults_injected += 1
+
+    # -- quarantine (recovery) --------------------------------------------------
+    def quarantine(self, wid: int, frozen_value: int = 0) -> None:
+        """Freeze a wire at ``frozen_value`` and ignore all future writes.
+
+        This is the repair action for a permanently faulty link: the
+        wire stops carrying data (and stops flapping), and the fabric
+        reroutes around it.  Clears any installed persistent fault on
+        the wire.
+        """
+        self.flaky.discard(wid)
+        self.stuck.pop(wid, None)
+        self.quarantined.add(wid)
+        if self.values[wid] != frozen_value:
+            self.values[wid] = frozen_value
+            reader = self.specs[wid].reader
+            if self.stable[reader]:
+                self.stable[reader] = False
+        self.hbr[wid] = 0
+
+    def flapping_wires(self, threshold: int) -> List[str]:
+        """Names of wires that changed more than ``threshold`` times in
+        the current system cycle — the livelock suspects."""
+        return [
+            self.specs[wid].name
+            for wid, count in enumerate(self.changes_this_cycle)
+            if count > threshold
+        ]
 
     # -- sizing (feeds the Table-2 resource model) ----------------------------
     @property

@@ -1,14 +1,25 @@
-"""Round-robin scheduling of non-stable units (section 4.2).
+"""Round-robin scheduling of non-stable units (section 4.2) and the
+delta-cycle convergence watchdog.
 
 "A simple round-robin scheduler will decide which non-stable router has
 to be evaluated.  If all routers are stable the network is considered to
 be completely evaluated and ready for the next system cycle."
+
+The paper's argument that the iteration terminates relies on the wire
+dependency graph being acyclic (state -> room -> forward).  Corrupted
+hardware voids that guarantee — a flapping link re-triggers its reader
+forever — so the hardware realisation needs an explicit bound:
+:class:`ConvergenceWatchdog` caps the delta cycles spent inside one
+system cycle at ``k x n_units`` and raises a structured
+:class:`repro.faults.errors.LivelockError` naming the units that never
+settled and the wires that kept changing.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from repro.faults.errors import LivelockError
 from repro.seqsim.linkmem import LinkMemory
 
 
@@ -20,15 +31,23 @@ class RoundRobinScheduler:
     """
 
     def __init__(self, n_units: int) -> None:
-        if n_units < 1:
-            raise ValueError("need at least one unit")
+        if n_units <= 0:
+            raise ValueError(
+                f"scheduler needs at least one unit (got n_units={n_units}); "
+                "an empty network has nothing to schedule"
+            )
         self.n_units = n_units
         self._pointer = n_units - 1  # first pick is unit 0
 
     def next_unit(self, links: LinkMemory) -> Optional[int]:
         """Index of the next non-stable unit, or None when all stable."""
-        for offset in range(1, self.n_units + 1):
-            unit = (self._pointer + offset) % self.n_units
+        n = self.n_units
+        if n <= 0 or links.n_units == 0:
+            # Defensive: a zero-unit link memory would otherwise make the
+            # caller spin forever waiting for stability that cannot come.
+            return None
+        for offset in range(1, n + 1):
+            unit = (self._pointer + offset) % n
             if not links.is_stable(unit):
                 self._pointer = unit
                 return unit
@@ -37,3 +56,63 @@ class RoundRobinScheduler:
     @property
     def pointer(self) -> int:
         return self._pointer
+
+
+class ConvergenceWatchdog:
+    """Bounds the delta cycles one system cycle may consume.
+
+    The bound defaults to ``factor x n_units``: the NoC needs fewer than
+    3 evaluations per router per cycle, so a generous factor still trips
+    within microseconds of simulated time when a fault livelocks the
+    re-evaluation loop.  On a trip the watchdog raises
+    :class:`LivelockError` carrying the still-unstable units and — when
+    the per-wire change counters single out flapping wires — the suspect
+    wire names, which the recovery machinery uses to quarantine the
+    faulty physical link.
+    """
+
+    #: default multiple of the unit count (the NoC needs < 3x).
+    DEFAULT_FACTOR = 10
+
+    def __init__(self, n_units: int, factor: Optional[int] = None) -> None:
+        if n_units <= 0:
+            raise ValueError("watchdog needs at least one unit")
+        factor = self.DEFAULT_FACTOR if factor is None else factor
+        if factor < 1:
+            raise ValueError("watchdog factor must be >= 1")
+        self.n_units = n_units
+        self.factor = factor
+        self.limit = factor * n_units
+        self._deltas = 0
+        self._cycle = 0
+        self.trips = 0
+
+    def start_cycle(self, cycle: int) -> None:
+        self._deltas = 0
+        self._cycle = cycle
+
+    @property
+    def deltas(self) -> int:
+        return self._deltas
+
+    def tick(self, links: LinkMemory) -> None:
+        """Account one delta cycle; raise :class:`LivelockError` past the
+        bound."""
+        self._deltas += 1
+        if self._deltas <= self.limit:
+            return
+        self.trips += 1
+        unstable = tuple(
+            unit for unit in range(links.n_units) if not links.is_stable(unit)
+        )
+        # A genuinely flapping wire changes on nearly every visit to its
+        # writer, i.e. O(limit / n_units) times; a healthy wire changes
+        # a handful of times per system cycle.
+        threshold = max(4, self._deltas // (4 * max(1, links.n_units)))
+        raise LivelockError(
+            cycle=self._cycle,
+            deltas=self._deltas,
+            limit=self.limit,
+            unstable_units=unstable,
+            suspect_wires=links.flapping_wires(threshold),
+        )

@@ -25,9 +25,10 @@ load the HBR scheme approaches R deltas per cycle.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from repro.bits import BitVector, concat
+from repro.faults.errors import ConvergenceError, LivelockError
 from repro.noc.config import NetworkConfig, Port
 from repro.noc.layout import (
     pack_router_core,
@@ -40,20 +41,23 @@ from repro.noc.router import RouterInputs
 from repro.noc.routing import RoutingTable
 from repro.seqsim.linkmem import LinkMemory, WireSpec
 from repro.seqsim.metrics import DeltaMetrics
-from repro.seqsim.scheduler import RoundRobinScheduler
+from repro.seqsim.scheduler import ConvergenceWatchdog, RoundRobinScheduler
 from repro.seqsim.statemem import PackedStateMemory
 
-
-class ConvergenceError(RuntimeError):
-    """A system cycle failed to settle (should be impossible for the NoC,
-    whose wire dependencies are acyclic: state -> room -> forward)."""
+__all__ = [
+    "ConvergenceError",
+    "LivelockError",
+    "SequentialNetwork",
+    "StaticSequentialNetwork",
+    "TwoPassSequentialNetwork",
+]
 
 
 class SequentialNetwork(Network):
     """Dynamic-schedule sequential simulator (the paper's method)."""
 
-    #: safety net: deltas per system cycle may never exceed this multiple
-    #: of the unit count (the NoC needs < 3x).
+    #: watchdog bound: deltas per system cycle may never exceed this
+    #: multiple of the unit count (the NoC needs < 3x).
     MAX_DELTA_FACTOR = 10
 
     def __init__(
@@ -61,6 +65,7 @@ class SequentialNetwork(Network):
         cfg: NetworkConfig,
         routing: Optional[RoutingTable] = None,
         packed: bool = False,
+        watchdog_factor: Optional[int] = None,
     ) -> None:
         super().__init__(cfg, routing)
         self.packed = packed
@@ -69,6 +74,9 @@ class SequentialNetwork(Network):
         self._sink = (1 << rc.n_vcs) - 1
         self.metrics = DeltaMetrics(n_units=n)
         self.scheduler = RoundRobinScheduler(n)
+        self.watchdog = ConvergenceWatchdog(
+            n, watchdog_factor if watchdog_factor is not None else self.MAX_DELTA_FACTOR
+        )
 
         # -- link memory ---------------------------------------------------
         # Per unit, per non-local port: an incoming forward wire and an
@@ -237,10 +245,15 @@ class SequentialNetwork(Network):
 
     def _write_wire(self, wid: int, value: int) -> None:
         links = self.links
+        if not links.fault_free:
+            links.write_wire(wid, value)
+            return
+        # Fast path: no installed wire faults, inline the HBR update.
         links.wire_writes += 1
         if value != links.values[wid]:
             links.values[wid] = value
             links.value_changes += 1
+            links.changes_this_cycle[wid] += 1
             reader = links.specs[wid].reader
             if links.hbr[wid] == 1 and links.stable[reader]:
                 links.stable[reader] = False
@@ -248,24 +261,22 @@ class SequentialNetwork(Network):
 
     # -- the system cycle -------------------------------------------------------
     def step(self) -> None:
+        for hook in self.pre_step_hooks:
+            hook(self)
         n = self.cfg.n_routers
         links = self.links
         links.begin_cycle()
         self._events = [None] * n
-        deltas = 0
-        limit = n * self.MAX_DELTA_FACTOR
         scheduler = self.scheduler
+        watchdog = self.watchdog
+        watchdog.start_cycle(self.cycle)
         while True:
             unit = scheduler.next_unit(links)
             if unit is None:
                 break
             self._evaluate_unit(unit)
-            deltas += 1
-            if deltas > limit:
-                raise ConvergenceError(
-                    f"cycle {self.cycle}: {deltas} deltas without settling"
-                )
-        self._commit(deltas)
+            watchdog.tick(links)
+        self._commit(watchdog.deltas)
 
     def _commit(self, deltas: int) -> None:
         n = self.cfg.n_routers
@@ -280,6 +291,96 @@ class SequentialNetwork(Network):
         self.metrics.record_cycle(deltas)
         self.cycle += 1
 
+    # -- fault injection hooks (repro.faults) ----------------------------------
+    @property
+    def state_word_width(self) -> int:
+        """Width of the packed per-unit state word (packed mode only)."""
+        if not self.packed:
+            raise RuntimeError("state words exist only in packed mode")
+        return self._word_width
+
+    def inject_state_fault(self, address: int, bit: int) -> int:
+        """Flip one bit of a committed packed state word (transient SEU).
+
+        Only meaningful in packed mode: the parity-protected state
+        memory is the FPGA BlockRAM being upset.  Returns the corrupted
+        word.
+        """
+        if not self.packed:
+            raise RuntimeError("state faults need packed=True (no state memory)")
+        return self.statemem.inject_fault(address, 1 << bit)
+
+    def inject_link_fault(self, wire, bit: int) -> int:
+        """Flip one bit of a stored link value (transient SEU in the
+        single-banked link memory).  ``wire`` is a name or wire id."""
+        wid = wire if isinstance(wire, int) else self.links.wire_id(wire)
+        return self.links.inject_value_fault(wid, 1 << bit)
+
+    def link_wire_names(self) -> List[str]:
+        """All wire names, in deterministic construction order."""
+        return [spec.name for spec in self.links.specs]
+
+    def install_flap_fault(self, router: int, port: int) -> Tuple[str, str]:
+        """Install a livelock-inducing flap fault on the link pair
+        between ``router`` and its neighbour over ``port``.
+
+        Both the forward wire and the returning room-credit wire flap:
+        every write registers as a change for the reader, so the two
+        units invalidate each other forever — the pathological case the
+        convergence watchdog exists for.  Returns the wire names.
+        """
+        nb = self._neighbor_cache[router][port]
+        if nb is None:
+            raise ValueError(f"router {router} has no neighbour on port {port}")
+        fwd = self._out_fwd_wire[router][port]
+        room = self._in_room_wire[router][port]
+        self.links.set_flaky(fwd)
+        self.links.set_flaky(room)
+        return (self.links.wire_name(fwd), self.links.wire_name(room))
+
+    # -- quarantine (recovery) ---------------------------------------------------
+    def _wire_to_link(self, name: str) -> Tuple[int, int]:
+        """Map a wire name to the directed physical link it belongs to."""
+        kind, rest = name.split(":")
+        router_s, port_s = rest.split(".")
+        router, port = int(router_s), int(port_s)
+        if kind == "fwd":
+            return router, port
+        # A room wire written by `router` at input port `port` carries the
+        # credit for the reverse channel: neighbour --opposite--> router.
+        nb = self._neighbor_cache[router][port]
+        if nb is None:
+            raise ValueError(f"wire {name!r} has no physical link")
+        return nb, int(Port(port).opposite)
+
+    def quarantine_link(self, router: int, port: int) -> None:
+        """Kill the directed link in the link memory and reroute.
+
+        The forward wire freezes at idle and the room wire the sender
+        reads for that output freezes at "no room", so the arbiter never
+        grants onto the dead channel; the base class recomputes routes
+        around it.
+        """
+        fwd = self._out_fwd_wire[router][port]
+        if fwd >= 0:
+            self.links.quarantine(fwd, 0)
+        room = self._in_room_wire[router][port]
+        if room >= 0:
+            self.links.quarantine(room, 0)
+        super().quarantine_link(router, port)
+
+    def quarantine_wires(self, names: Sequence[str]) -> List[Tuple[int, int]]:
+        """Quarantine the physical links behind the given wires.
+
+        This is the repair action the recovery machinery applies when a
+        livelock diagnosis names flapping wires.  Returns the directed
+        links taken out of service.
+        """
+        links = sorted({self._wire_to_link(name) for name in names})
+        for router, port in links:
+            self.quarantine_link(router, port)
+        return links
+
 
 class StaticSequentialNetwork(SequentialNetwork):
     """Static-schedule ablation: rooms, forwards, then state updates, each
@@ -292,6 +393,8 @@ class StaticSequentialNetwork(SequentialNetwork):
     """
 
     def step(self) -> None:
+        for hook in self.pre_step_hooks:
+            hook(self)
         n = self.cfg.n_routers
         rc = self.cfg.router
         links = self.links

@@ -9,28 +9,44 @@ memory corresponds to the router that is evaluated", section 5.2); each
 position holds the packed register word.  Reads come from the current
 bank, writes go to the next bank, and :meth:`swap` flips the offset
 pointer at the end of every system cycle.
+
+Fault protection: every stored word carries an even-parity check bit,
+maintained on every legal write path and verified over both banks at
+every bank swap.  Fault injection (:meth:`inject_fault`) mutates a
+stored word *without* touching its parity bit — exactly what a particle
+strike in the BlockRAM would do — so any odd-weight corruption is
+guaranteed to surface as a :class:`repro.faults.errors.ParityError` at
+the next system-cycle boundary.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Callable, List, Optional, Tuple
+
+from repro.bits.bitvector import parity
+from repro.faults.errors import ParityError
 
 
 class PackedStateMemory:
     """``depth`` words of ``width`` bits, double banked."""
 
-    def __init__(self, depth: int, width: int) -> None:
+    def __init__(self, depth: int, width: int, parity_protected: bool = True) -> None:
         if depth < 1 or width < 1:
             raise ValueError("depth and width must be positive")
         self.depth = depth
         self.width = width
+        self.parity_protected = parity_protected
         self._mask = (1 << width) - 1
         # One flat array of 2*depth words; `offset` selects the current bank.
         self._mem: List[int] = [0] * (2 * depth)
+        #: stored check bit per word; maintained by every legal write.
+        self._parity: List[int] = [0] * (2 * depth)
         self._offset = 0
         self.reads = 0
         self.writes = 0
         self.swaps = 0
+        self.parity_checks = 0
+        self.faults_injected = 0
 
     # -- addressing ---------------------------------------------------------
     def _check(self, address: int) -> None:
@@ -55,7 +71,9 @@ class PackedStateMemory:
         if word & ~self._mask:
             raise ValueError(f"word wider than {self.width} bits")
         self.writes += 1
-        self._mem[(self._offset ^ self.depth) + address] = word
+        index = (self._offset ^ self.depth) + address
+        self._mem[index] = word
+        self._parity[index] = parity(word)
 
     def write_current(self, address: int, word: int) -> None:
         """Write into the *current* bank.
@@ -69,10 +87,19 @@ class PackedStateMemory:
         if word & ~self._mask:
             raise ValueError(f"word wider than {self.width} bits")
         self.writes += 1
-        self._mem[self._offset + address] = word
+        index = self._offset + address
+        self._mem[index] = word
+        self._parity[index] = parity(word)
 
     def swap(self) -> None:
-        """Flip the offset pointer: the next state becomes current."""
+        """Flip the offset pointer: the next state becomes current.
+
+        The swap is the system-cycle boundary, and is where the parity
+        of every stored word is verified — corrupted words are reported
+        before the next cycle can consume them.
+        """
+        if self.parity_protected:
+            self.check_parity()
         self._offset ^= self.depth
         self.swaps += 1
 
@@ -83,9 +110,62 @@ class PackedStateMemory:
             raise ValueError(f"word wider than {self.width} bits")
         self._mem[address] = word
         self._mem[self.depth + address] = word
+        check = parity(word)
+        self._parity[address] = check
+        self._parity[self.depth + address] = check
+
+    # -- fault injection / detection -------------------------------------------
+    def inject_fault(
+        self,
+        address: int,
+        xor_mask: int = 0,
+        *,
+        mutate: Optional[Callable[[int], int]] = None,
+        bank: str = "current",
+    ) -> int:
+        """Corrupt one stored word in place, leaving its parity bit stale.
+
+        ``xor_mask`` flips the given bits (a transient SEU); ``mutate``
+        applies an arbitrary word transformation instead (stuck-at,
+        burst).  ``bank`` selects ``"current"`` (the committed state the
+        next cycle reads) or ``"next"``.  Returns the corrupted word.
+        """
+        self._check(address)
+        offset = self._offset if bank == "current" else self._offset ^ self.depth
+        index = offset + address
+        word = self._mem[index]
+        word = mutate(word) if mutate is not None else word ^ xor_mask
+        word &= self._mask
+        self._mem[index] = word
+        self.faults_injected += 1
+        return word
+
+    def verify(self) -> List[Tuple[int, int]]:
+        """``(bank, address)`` of every word whose parity bit is stale."""
+        self.parity_checks += 1
+        bad: List[Tuple[int, int]] = []
+        depth = self.depth
+        mem = self._mem
+        checks = self._parity
+        for index in range(2 * depth):
+            if parity(mem[index]) != checks[index]:
+                bad.append((index // depth, index % depth))
+        return bad
+
+    def check_parity(self) -> None:
+        """Raise :class:`ParityError` if any stored word is corrupted."""
+        bad = self.verify()
+        if bad:
+            raise ParityError(bad)
 
     # -- sizing (feeds the Table-2 resource model) ------------------------------
     @property
     def total_bits(self) -> int:
-        """Storage the memory occupies: 2 banks x depth x width."""
+        """Storage the memory occupies: 2 banks x depth x width.
+
+        The parity check bit needs no extra provisioned storage: the
+        provisioned word is wider than the packed payload (the paper's
+        2112-bit word holds 1912 architectural bits), so the check bit
+        rides in the slack.
+        """
         return 2 * self.depth * self.width

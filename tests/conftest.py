@@ -1,0 +1,57 @@
+"""Shared test configuration: a per-test timeout.
+
+A livelocked simulation loop (the very failure mode the convergence
+watchdog exists for) must not hang the whole suite.  If the
+``pytest-timeout`` plugin is installed we defer to it; otherwise a
+minimal SIGALRM-based equivalent enforces the same budget on platforms
+that support it.  Either way a hung test dies with a traceback instead
+of stalling CI.
+"""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+
+#: per-test wall-clock budget in seconds.  Generous: the slowest
+#: legitimate tests (scale/equivalence sweeps, the fault campaign) run
+#: in well under a minute; only a genuine hang exceeds this.
+TEST_TIMEOUT_SECONDS = 300
+
+try:  # defer to the real plugin when available
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_PLUGIN = True
+except ImportError:
+    _HAVE_PLUGIN = False
+
+_HAVE_SIGALRM = hasattr(signal, "SIGALRM")
+
+
+def pytest_collection_modifyitems(config, items):
+    if _HAVE_PLUGIN:
+        for item in items:
+            if item.get_closest_marker("timeout") is None:
+                item.add_marker(pytest.mark.timeout(TEST_TIMEOUT_SECONDS))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    if _HAVE_PLUGIN or not _HAVE_SIGALRM:
+        yield
+        return
+
+    def _on_timeout(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {TEST_TIMEOUT_SECONDS}s per-test timeout "
+            "(likely a livelocked simulation loop)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_timeout)
+    signal.alarm(TEST_TIMEOUT_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
