@@ -2,72 +2,33 @@
 "this enables us to observe the NoC behavior under a large variety of
 traffic patterns" (abstract).
 
-Runs the same offered load under uniform-random, transpose,
-bit-complement and hotspot destination patterns and checks the canonical
-NoC orderings: adversarial patterns cost more latency than uniform, and
-the hotspot concentrates the traffic on its target.
+Thin benchmark wrapper around :mod:`repro.experiments.patterns`: the
+sweep itself (and its process-parallel fan-out) lives there; this file
+times it and asserts the canonical NoC orderings — adversarial patterns
+cost more latency than uniform, and the hotspot concentrates the
+traffic on its target.
 """
 
-from repro.engines import SequentialEngine
+from repro.experiments import patterns
 from repro.experiments.common import scale
-from repro.noc import NetworkConfig
-from repro.stats import PacketLatencyTracker
-from repro.traffic import (
-    BernoulliBeTraffic,
-    TrafficDriver,
-    bit_complement,
-    hotspot,
-    transpose,
-    uniform_random,
-)
-
-LOAD = 0.10
-
-
-def run_pattern(name, pattern_factory, cycles):
-    net = NetworkConfig(6, 6, topology="torus")
-    engine = SequentialEngine(net)
-    be = BernoulliBeTraffic(net, LOAD, pattern_factory(net), seed=0x7A77)
-    driver = TrafficDriver(engine, be=be)
-    tracker = PacketLatencyTracker(net)
-    driver.attach_tracker(tracker)
-    driver.run(cycles)
-    driver.be = None
-    driver.drain()
-    tracker.collect(engine)
-    return {
-        "name": name,
-        "mean": tracker.stats().mean,
-        "p99": tracker.stats().p99,
-        "mean_hops": sum(s.hops for s in tracker.samples) / len(tracker.samples),
-        "engine": engine,
-    }
 
 
 def test_traffic_pattern_sweep(benchmark):
     cycles = scale(1200)
-    patterns = {
-        "uniform": uniform_random,
-        "transpose": transpose,
-        "bit_complement": bit_complement,
-        "hotspot": lambda net: hotspot(net, target=net.index(3, 3), fraction=0.4),
-    }
 
-    def sweep():
-        return {name: run_pattern(name, factory, cycles) for name, factory in patterns.items()}
-
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    mean = {k: v["mean"] for k, v in results.items()}
+    result = benchmark.pedantic(
+        patterns.run, kwargs={"cycles": cycles}, rounds=1, iterations=1
+    )
     # Bit-complement forces maximal average distance on the torus.
-    assert results["bit_complement"]["mean_hops"] > results["uniform"]["mean_hops"]
+    assert result.bit_complement_max_distance()
     # The hotspot concentrates latency: worse than uniform at equal load.
-    assert mean["hotspot"] > mean["uniform"]
+    assert result.hotspot_costs_latency()
     # Hotspot target receives a disproportionate share of the flits.
-    engine = results["hotspot"]["engine"]
-    target = engine.cfg.index(3, 3)
-    to_target = sum(1 for e in engine.ejections if e.router == target)
-    assert to_target > len(engine.ejections) * 0.25
-    benchmark.extra_info["mean_latency"] = {k: round(v, 1) for k, v in mean.items()}
+    assert result.hotspot_concentrates()
+    by_name = result.by_name
+    benchmark.extra_info["mean_latency"] = {
+        k: round(p.mean, 1) for k, p in by_name.items()
+    }
     benchmark.extra_info["mean_hops"] = {
-        k: round(v["mean_hops"], 2) for k, v in results.items()
+        k: round(p.mean_hops, 2) for k, p in by_name.items()
     }

@@ -8,6 +8,7 @@ Commands:
 * ``simulate``    — run a workload on any engine and print statistics
 * ``trace``       — run the RTL engine and dump a VCD waveform
 * ``faults``      — fault-injection campaigns with rollback recovery
+* ``bench``       — Table-3 speed benchmark -> BENCH_table3.json
 * ``experiments`` — regenerate the paper's tables and figures
 """
 
@@ -84,7 +85,10 @@ def cmd_simulate(args) -> int:
     from repro.traffic import BernoulliBeTraffic, TrafficDriver, uniform_random
 
     net = _network_from(args)
-    engine = make_engine(args.engine, net)
+    kwargs = {}
+    if args.engine == "sequential" and args.scheduler:
+        kwargs["scheduler"] = args.scheduler
+    engine = make_engine(args.engine, net, **kwargs)
     be = BernoulliBeTraffic(net, args.load, uniform_random(net), seed=args.seed)
     driver = TrafficDriver(engine, be=be)
     tracker = PacketLatencyTracker(net)
@@ -150,7 +154,13 @@ def cmd_trace(args) -> int:
 
 
 def cmd_faults(args) -> int:
-    from repro.faults import CampaignConfig, FaultDomain, FaultKind, run_campaign
+    from repro.faults import (
+        CampaignConfig,
+        FaultDomain,
+        FaultKind,
+        run_campaign,
+        run_campaigns,
+    )
 
     if args.action != "campaign":
         print(f"unknown faults action {args.action!r}; try 'campaign'")
@@ -163,31 +173,59 @@ def cmd_faults(args) -> int:
     kinds = (FaultKind.TRANSIENT,)
     if args.bursts:
         kinds = kinds + (FaultKind.BURST,)
-    config = CampaignConfig(
-        width=args.width,
-        height=args.height,
-        topology=args.topology,
-        n_faults=args.faults,
-        seed=args.seed,
-        load=args.load,
-        spacing=args.spacing,
-        domains=domains,
-        kinds=kinds,
-        include_flap=args.flap,
-    )
+    configs = [
+        CampaignConfig(
+            width=args.width,
+            height=args.height,
+            topology=args.topology,
+            n_faults=args.faults,
+            seed=seed,
+            load=args.load,
+            spacing=args.spacing,
+            domains=domains,
+            kinds=kinds,
+            include_flap=args.flap,
+        )
+        for seed in range(args.seed, args.seed + max(1, args.seeds))
+    ]
     start = time.perf_counter()
-    report = run_campaign(config)
+    if len(configs) == 1:
+        reports = [run_campaign(configs[0])]
+    else:
+        reports = run_campaigns(configs, workers=args.workers)
     elapsed = time.perf_counter() - start
-    print(report.render())
+    for i, report in enumerate(reports):
+        if i:
+            print()
+        print(report.render())
+    if len(reports) > 1:
+        rates = [r.detection_rate for r in reports]
+        print(
+            f"\n{len(reports)} campaigns: detection rate "
+            f"min {100 * min(rates):.1f}% / mean "
+            f"{100 * sum(rates) / len(rates):.1f}% / max {100 * max(rates):.1f}%"
+        )
     print(f"\ncampaign wall time: {elapsed:.1f} s")
     if args.verbose:
-        print()
-        for outcome in report.outcomes:
-            mark = "DETECTED " if outcome.detected else "absorbed "
-            print(f"  {mark} {outcome.fault.describe()}")
-            if outcome.error:
-                print(f"            {outcome.error[:100]}")
-    return 1 if report.recovery_exhausted else 0
+        for report in reports:
+            print()
+            for outcome in report.outcomes:
+                mark = "DETECTED " if outcome.detected else "absorbed "
+                print(f"  {mark} {outcome.fault.describe()}")
+                if outcome.error:
+                    print(f"            {outcome.error[:100]}")
+    return 1 if any(r.recovery_exhausted for r in reports) else 0
+
+
+def cmd_bench(args) -> int:
+    from repro.experiments import bench
+
+    cycles = max(1, int(300 * args.scale))
+    doc = bench.run(cycles=cycles, rounds=args.rounds)
+    print(bench.render(doc))
+    path = bench.write(doc, args.out)
+    print(f"\nwrote {path}")
+    return 0
 
 
 def cmd_experiments(args) -> int:
@@ -220,6 +258,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--load", type=float, default=0.08)
     p.add_argument("--cycles", type=int, default=500)
     p.add_argument("--seed", type=int, default=0xC11)
+    p.add_argument(
+        "--scheduler", choices=["worklist", "roundrobin"], default=None,
+        help="delta-cycle scheduler (sequential engine only)",
+    )
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("trace", help="dump a VCD waveform from the RTL engine")
@@ -250,10 +292,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="end with a livelock-inducing flap fault (watchdog + quarantine)",
     )
     p.add_argument("--verbose", action="store_true", help="per-fault outcomes")
+    p.add_argument(
+        "--seeds", type=int, default=1,
+        help="run N campaigns at seeds seed..seed+N-1 (parallel sweep)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for --seeds > 1 (default: $REPRO_WORKERS or CPUs)",
+    )
     p.set_defaults(fn=cmd_faults)
 
+    p = sub.add_parser("bench", help="Table-3 speed benchmark -> JSON")
+    p.add_argument(
+        "--scale", type=float, default=1.0,
+        help="cycle-budget multiplier on the default 300 cycles",
+    )
+    p.add_argument("--out", default="BENCH_table3.json")
+    p.add_argument("--rounds", type=int, default=3, help="best-of-N rounds")
+    p.set_defaults(fn=cmd_bench)
+
     p = sub.add_parser("experiments", help="regenerate tables/figures")
-    p.add_argument("names", nargs="*", help="fig1 table1 table2 table3 table4 deltas fig5")
+    p.add_argument(
+        "names",
+        nargs="*",
+        help="fig1 table1 table2 table3 table4 deltas fig5 "
+        "patterns resilience bench",
+    )
     p.set_defaults(fn=cmd_experiments)
     return parser
 

@@ -14,17 +14,22 @@ module      reproduces
 ``table4``  Table 4 — profile of the simulation steps
 ``deltas``  Section 6 — extra delta cycles vs. offered load
 ``fig5``    Figure 5 — a dynamic-schedule trace on the 3-block system
+``patterns``    traffic-pattern sweep (abstract: "a large variety of
+            traffic patterns")
 ``resilience``  fault-injection campaign: parity/watchdog detection
             plus rollback recovery (robustness extension)
+``bench``   Table-3 benchmark: cycles/second per engine -> JSON
 ==========  ========================================================
 
 Run any of them with ``python -m repro.experiments <name>``.
 """
 
 from repro.experiments import (
+    bench,
     deltas,
     fig1,
     fig5,
+    patterns,
     resilience,
     table1,
     table2,
@@ -40,14 +45,18 @@ ALL = {
     "table4": table4,
     "deltas": deltas,
     "fig5": fig5,
+    "patterns": patterns,
     "resilience": resilience,
+    "bench": bench,
 }
 
 __all__ = [
     "ALL",
+    "bench",
     "deltas",
     "fig1",
     "fig5",
+    "patterns",
     "resilience",
     "table1",
     "table2",

@@ -15,6 +15,7 @@ capacity.  Expected shape (paper Fig. 1):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import List, Optional, Sequence
 
 from repro.experiments.common import (
@@ -23,6 +24,7 @@ from repro.experiments.common import (
     run_fig1_workload,
     scale,
 )
+from repro.experiments.parallel import parallel_map
 
 #: the paper's x-axis, thinned to keep the default run affordable.
 DEFAULT_LOADS = (0.0, 0.02, 0.04, 0.06, 0.08, 0.10, 0.12, 0.14)
@@ -78,15 +80,23 @@ def run(
     cycles: Optional[int] = None,
     engine_cls=None,
     seed: int = 0x5EED,
+    workers: Optional[int] = None,
+    profiler=None,
 ) -> Fig1Result:
+    """Sweep the BE load axis; points run across worker processes.
+
+    Each point is a pure function of ``(load, cycles, engine_cls,
+    seed)``, so the parallel sweep is byte-identical to the serial one
+    (``workers=1``); the parallel-sweep tests assert it.
+    """
     from repro.engines import SequentialEngine
 
     cycles = cycles if cycles is not None else scale(4000)
     engine_cls = engine_cls or SequentialEngine
-    points = [
-        run_fig1_workload(load, cycles, engine_cls=engine_cls, seed=seed)
-        for load in loads
-    ]
+    point = partial(
+        run_fig1_workload, cycles=cycles, engine_cls=engine_cls, seed=seed
+    )
+    points = parallel_map(point, loads, workers=workers, profiler=profiler)
     return Fig1Result(points)
 
 

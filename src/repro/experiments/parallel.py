@@ -1,0 +1,129 @@
+"""Process-parallel sweep runner.
+
+Every experiment sweep in this package (the Figure-1 load sweep, the
+traffic-pattern sweep, multi-seed fault campaigns) is embarrassingly
+parallel: each point is a pure function of an explicit, seeded
+configuration, and the points share no state.  :func:`parallel_map`
+exploits that with a :class:`~concurrent.futures.ProcessPoolExecutor`
+while keeping the one property the reproduction cannot give up —
+**determinism**: results are returned in submission order, every worker
+input carries its own seed, and nothing about the output depends on
+worker count or completion order.  ``workers=1`` (or any failure to
+spawn processes — sandboxes, missing ``fork``, unpicklable payloads)
+falls back to a plain serial loop producing byte-identical results.
+
+The worker count resolves from, in order: the explicit ``workers``
+argument, the ``REPRO_WORKERS`` environment variable, and
+``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: environment override for the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """The worker count to use: argument > $REPRO_WORKERS > cpu_count."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV)
+        if env is not None:
+            workers = int(env)
+    if workers is None:
+        workers = os.cpu_count() or 1
+    return max(1, workers)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    workers: Optional[int] = None,
+    profiler=None,
+) -> List[R]:
+    """``[fn(x) for x in items]``, fanned out over worker processes.
+
+    * **Order-preserving**: result ``i`` corresponds to ``items[i]``
+      regardless of which worker finished first.
+    * **Deterministic**: ``fn`` must be a pure function of its item (all
+      experiment points here are seeded), so the output is identical to
+      the serial loop — the parallel-sweep tests assert byte equality.
+    * **Graceful fallback**: if the pool cannot be created or dies
+      (``PermissionError``/``OSError`` in sandboxes, broken processes,
+      unpicklable ``fn``/items), the sweep silently reruns serially.
+      A worker raising an ordinary exception is *not* swallowed — that
+      is a real experiment failure and propagates to the caller.
+
+    ``fn`` and every item must be picklable when ``workers > 1``: use
+    module-level functions and :func:`functools.partial` rather than
+    closures.  ``profiler``, when given, is a
+    :class:`repro.platform.profiler.StageProfiler`; the sweep records
+    wall-clock under stage ``"sweep"`` and counts points and workers.
+    """
+    items = list(items)
+    workers = resolve_workers(workers)
+    workers = min(workers, len(items)) or 1
+
+    def serial() -> List[R]:
+        return [fn(item) for item in items]
+
+    if profiler is not None:
+        profiler.count("points", len(items))
+
+    if workers <= 1 or len(items) <= 1:
+        if profiler is not None:
+            profiler.count("workers", 1)
+            with profiler.stage("sweep"):
+                return serial()
+        return serial()
+
+    try:
+        # Import lazily: platforms without _multiprocessing still run.
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+    except ImportError:
+        return serial()
+
+    try:
+        if profiler is not None:
+            profiler.count("workers", workers)
+            with profiler.stage("sweep"):
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    return list(pool.map(fn, items))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+    except (
+        OSError,  # includes PermissionError: no process spawning allowed
+        BrokenProcessPool,
+        pickle.PicklingError,
+        AttributeError,  # unpicklable local function
+        TypeError,  # unpicklable argument
+    ):
+        if profiler is not None:
+            profiler.count("serial_fallbacks", 1)
+            with profiler.stage("sweep"):
+                return serial()
+        return serial()
+
+
+def chunked(items: Sequence[T], n: int) -> List[Sequence[T]]:
+    """Split ``items`` into ``n`` contiguous, order-preserving chunks
+    (the last chunks may be one element shorter).  Useful for sweeps
+    whose per-point cost is too small to amortise process startup."""
+    if not items:
+        return []
+    n = max(1, min(n, len(items)))
+    base, extra = divmod(len(items), n)
+    out: List[Sequence[T]] = []
+    start = 0
+    for i in range(n):
+        size = base + (1 if i < extra else 0)
+        out.append(items[start : start + size])
+        start += size
+    return out

@@ -19,6 +19,7 @@ from repro.faults.campaign import (
     FaultOutcome,
     ResilienceReport,
     run_campaign,
+    run_campaigns,
 )
 from repro.faults.errors import (
     ConvergenceError,
@@ -50,4 +51,5 @@ __all__ = [
     "RecoveryExhaustedError",
     "ResilienceReport",
     "run_campaign",
+    "run_campaigns",
 ]

@@ -198,6 +198,24 @@ def run_campaign(config: CampaignConfig) -> ResilienceReport:
     return _collate(config, controller, injector, exhausted, cycles_run, total_deltas)
 
 
+def run_campaigns(
+    configs: Sequence[CampaignConfig],
+    workers: Optional[int] = None,
+    profiler=None,
+) -> List[ResilienceReport]:
+    """Run several campaigns, fanned out over worker processes.
+
+    Campaigns are pure functions of their config (every randomness
+    source is seeded from it), so the reports come back in ``configs``
+    order and are identical to running :func:`run_campaign` serially —
+    whatever the worker count.  Reports carry only plain dataclasses
+    (no engine references), so they pickle across the pool boundary.
+    """
+    from repro.experiments.parallel import parallel_map
+
+    return parallel_map(run_campaign, configs, workers=workers, profiler=profiler)
+
+
 def _collate(
     config: CampaignConfig,
     controller: SimulationController,

@@ -84,6 +84,12 @@ class StimuliEvents:
     ejected: Optional[Tuple[int, int]] = None  # (vc, flit_word)
 
 
+#: Shared "nothing happened" events object returned by the idle-cycle
+#: identity path below.  Never mutated: the event fields are only set on
+#: the copying path, so one immutable instance serves every idle return.
+_IDLE_EVENTS = StimuliEvents()
+
+
 class StimuliInterface:
     """Pure evaluation functions of the stimuli interface."""
 
@@ -116,6 +122,17 @@ class StimuliInterface:
         ``chosen_vc`` is the VC injected this cycle (-1 for none);
         ``eject_word`` is the router's local output link word (0 = idle).
         """
+        if (
+            chosen_vc < 0
+            and state.eject_valid == 0
+            and (eject_word >> self.data_width) & 3 == 0
+            and not any(state.inj_valid)
+        ):
+            # Identity-preserving no-op: no pending flit to age, nothing
+            # injected or ejected, capture register already clear — the
+            # next state is the current state (this mirrors the golden
+            # stepper's skip condition exactly).
+            return state, _IDLE_EVENTS
         new = state.copy()
         events = StimuliEvents()
         for vc in range(self.n_vcs):

@@ -39,7 +39,6 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.noc.config import Port, RouterConfig
 from repro.noc.flit import FlitType, Header
-from repro.rtl.primitives import round_robin_grant
 
 
 class ProtocolError(RuntimeError):
@@ -177,9 +176,13 @@ class RouterState:
         """True when the router can be skipped by activity-gated engines:
         nothing buffered and no VC allocated (so the next state equals the
         current state whenever all inputs are idle)."""
-        return all(q.count == 0 for q in self.queues) and all(
-            a < 0 for a in self.alloc
-        )
+        for q in self.queues:
+            if q.count:
+                return False
+        for a in self.alloc:
+            if a >= 0:
+                return False
+        return True
 
     def total_buffered(self) -> int:
         return sum(q.count for q in self.queues)
@@ -242,18 +245,42 @@ class Router:
             be_vcs = cfg.be_vcs
             be_candidates = lambda in_port, in_vc, out_port: be_vcs  # noqa: E731
         self.be_candidates = be_candidates
+        # Hot-loop constants hoisted out of the per-evaluation methods
+        # (cfg is a frozen dataclass; these never change after init).
+        self._n_ports = cfg.n_ports
+        self._n_vcs = cfg.n_vcs
+        self._n_queues = cfg.n_ports * cfg.n_vcs
+        self._depth = cfg.queue_depth
+        self._data_width = cfg.data_width
+        self._vc_shift = cfg.data_width + 2
+        self._payload_mask = (1 << cfg.data_width) - 1
+        self._flit_mask = (1 << self._vc_shift) - 1
+        self._head_type = int(FlitType.HEAD)
+        self._tail_type = int(FlitType.TAIL)
+        self._idle_type = int(FlitType.IDLE)
+        # Rotating-priority scan orders, one per pointer value: replaces
+        # the per-iteration ``(ptr + off) % n_queues`` of the allocation
+        # scan with a precomputed tuple walk.
+        nq = self._n_queues
+        self._scan_order = [
+            tuple((ptr + off) % nq for off in range(1, nq + 1))
+            for ptr in range(nq)
+        ]
 
     # -- phase 1 ---------------------------------------------------------
     def room_mask(self, state: RouterState) -> List[int]:
         """Per-input-port room masks (Moore: current occupancy only)."""
-        cfg = self.cfg
+        n_vcs = self._n_vcs
+        depth = self._depth
+        queues = state.queues
         masks = []
-        for p in range(cfg.n_ports):
+        q = 0
+        for _p in range(self._n_ports):
             mask = 0
-            base = p * cfg.n_vcs
-            for vc in range(cfg.n_vcs):
-                if state.queues[base + vc].count < cfg.queue_depth:
+            for vc in range(n_vcs):
+                if queues[q].count < depth:
                     mask |= 1 << vc
+                q += 1
             masks.append(mask)
         return masks
 
@@ -262,27 +289,41 @@ class Router:
         self, state: RouterState, room_in: Sequence[int]
     ) -> Tuple[List[int], List[Grant]]:
         """Forward words and grants for every output port."""
-        cfg = self.cfg
-        data_width = cfg.data_width
-        fwd: List[int] = [0] * cfg.n_ports
-        grants: List[Grant] = [None] * cfg.n_ports
-        for p in range(cfg.n_ports):
+        n_ports = self._n_ports
+        n_vcs = self._n_vcs
+        shift = self._vc_shift
+        alloc = state.alloc
+        queues = state.queues
+        arb_ptr = state.arb_ptr
+        fwd: List[int] = [0] * n_ports
+        grants: List[Grant] = [None] * n_ports
+        base = 0
+        for p in range(n_ports):
             req = 0
-            req_ovc = {}
-            base = p * cfg.n_vcs
-            for vc in range(cfg.n_vcs):
-                ovc = base + vc
-                q = state.alloc[ovc]
-                if q >= 0 and state.queues[q].count > 0 and (room_in[p] >> vc) & 1:
+            room = room_in[p]
+            for vc in range(n_vcs):
+                q = alloc[base + vc]
+                if q >= 0 and (room >> vc) & 1 and queues[q].count > 0:
                     req |= 1 << q
-                    req_ovc[q] = ovc
-            if req == 0:
-                continue
-            g = round_robin_grant(req, cfg.n_queues, state.arb_ptr[p])
-            ovc = req_ovc[g]
-            grants[p] = (g, ovc)
-            vc_out = ovc - base
-            fwd[p] = (vc_out << (data_width + 2)) | state.queues[g].head()
+            if req:
+                # First set bit cyclically above arb_ptr[p] — a bit-scan
+                # equivalent of :func:`round_robin_grant` (the RTL
+                # arbiter still uses the shared scan version;
+                # test_rtl_primitives cross-checks the two).
+                last = arb_ptr[p]
+                above = req >> (last + 1)
+                if above:
+                    g = (above & -above).bit_length() + last
+                else:
+                    g = (req & -req).bit_length() - 1
+                for vc in range(n_vcs):
+                    ovc = base + vc
+                    if alloc[ovc] == g:
+                        break
+                grants[p] = (g, ovc)
+                queue = queues[g]
+                fwd[p] = ((ovc - base) << shift) | queue.mem[queue.rd]
+            base += n_vcs
         return fwd, grants
 
     # -- phase 3 ----------------------------------------------------------
@@ -296,26 +337,31 @@ class Router:
 
         Returns ``([(queue, ovc), ...], last_allocated_queue_or_-1)``.
         """
-        cfg = self.cfg
+        n_vcs = self._n_vcs
+        data_width = self._data_width
+        head_type = self._head_type
+        payload_mask = self._payload_mask
+        queue_alloc = state.queue_alloc
+        queues = state.queues
+        alloc = state.alloc
         decisions: List[Tuple[int, int]] = []
         claimed = set()
         last_alloc = -1
-        for off in range(1, cfg.n_queues + 1):
-            q = (state.alloc_ptr + off) % cfg.n_queues
-            if state.queue_alloc[q] >= 0:
+        for q in self._scan_order[state.alloc_ptr]:
+            if queue_alloc[q] >= 0:
                 continue
-            queue = state.queues[q]
+            queue = queues[q]
             if queue.count == 0:
                 continue
-            head = queue.head()
-            if (head >> cfg.data_width) & 3 != FlitType.HEAD:
+            head = queue.mem[queue.rd]
+            if (head >> data_width) & 3 != head_type:
                 continue
-            header = Header.decode(head & ((1 << cfg.data_width) - 1))
+            header = Header.decode(head & payload_mask)
             out_port = int(self.route(self.dest_index(header)))
-            in_vc = q % cfg.n_vcs
-            in_port = q // cfg.n_vcs
+            in_vc = q % n_vcs
+            in_port = q // n_vcs
             if header.gt:
-                if in_vc not in cfg.gt_vcs:
+                if in_vc not in self.cfg.gt_vcs:
                     raise ProtocolError(
                         f"router {self.position}: GT head on non-GT VC {in_vc}"
                     )
@@ -323,8 +369,8 @@ class Router:
             else:
                 candidates = self.be_candidates(in_port, in_vc, out_port)
             for vc_out in candidates:
-                ovc = out_port * cfg.n_vcs + vc_out
-                if state.alloc[ovc] < 0 and ovc not in claimed:
+                ovc = out_port * n_vcs + vc_out
+                if alloc[ovc] < 0 and ovc not in claimed:
                     decisions.append((q, ovc))
                     claimed.add(ovc)
                     last_alloc = q
@@ -352,32 +398,77 @@ class Router:
         sequential simulator, which re-evaluates from the old bank, must
         copy).
         """
-        cfg = self.cfg
         if grants is None:
             _, grants = self.output_words(state, inputs.room)
         # Allocation decisions observe the pre-update state only.
         decisions, last_alloc = self._allocation_decisions(state)
-        new = state if in_place else state.copy()
+        idle_type = self._idle_type
+        data_width = self._data_width
+        if not in_place and not decisions:
+            # Identity-preserving no-op: nothing popped, pushed, or
+            # allocated means the next state *is* the current state.
+            # Returning the same object (rather than an equal copy) lets
+            # the sequential simulator's identity-keyed memos survive
+            # across cycles for blocked-but-occupied routers.
+            for g in grants:
+                if g is not None:
+                    break
+            else:
+                for w in inputs.fwd:
+                    if (w >> data_width) & 3 != idle_type:
+                        break
+                else:
+                    return state
+        if in_place:
+            new = state
+            cow = False
+        else:
+            # Copy-on-write: alias the old queues and clone one only
+            # right before mutating it.  Most cycles touch 0-3 of the 20
+            # queues, so this replaces the dominant cost of a full
+            # state.copy().  The old state's queues are never mutated
+            # through the aliases (pops/pushes below go through the
+            # clone), which is exactly the invariant the sequential
+            # simulator's re-evaluation from the old bank relies on.
+            new = RouterState.__new__(RouterState)
+            new.cfg = state.cfg
+            new.queues = list(state.queues)
+            new.alloc = list(state.alloc)
+            new.queue_alloc = list(state.queue_alloc)
+            new.arb_ptr = list(state.arb_ptr)
+            new.alloc_ptr = state.alloc_ptr
+            new.flags = state.flags
+            cow = True
+        queues = new.queues
+        shared = state.queues
 
         # 1. Pops: granted queues emit their head; TAIL releases the VC.
+        tail_type = self._tail_type
         for p, grant in enumerate(grants):
             if grant is None:
                 continue
             q, ovc = grant
-            word = new.queues[q].pop()
+            if cow and queues[q] is shared[q]:
+                queues[q] = shared[q].copy()
+            word = queues[q].pop()
             new.arb_ptr[p] = q
-            if (word >> cfg.data_width) & 3 == FlitType.TAIL:
+            if (word >> data_width) & 3 == tail_type:
                 new.alloc[ovc] = -1
                 new.queue_alloc[q] = -1
 
         # 2. Pushes: arriving link words go into the addressed VC queue.
-        for p in range(cfg.n_ports):
-            word = inputs.fwd[p]
-            if (word >> cfg.data_width) & 3 == FlitType.IDLE:
+        vc_shift = self._vc_shift
+        flit_mask = self._flit_mask
+        n_vcs = self._n_vcs
+        fwd_in = inputs.fwd
+        for p in range(self._n_ports):
+            word = fwd_in[p]
+            if (word >> data_width) & 3 == idle_type:
                 continue
-            vc = word >> (cfg.data_width + 2)
-            flit_word = word & ((1 << (cfg.data_width + 2)) - 1)
-            new.queues[p * cfg.n_vcs + vc].push(flit_word, strict=strict)
+            q = p * n_vcs + (word >> vc_shift)
+            if cow and queues[q] is shared[q]:
+                queues[q] = shared[q].copy()
+            queues[q].push(word & flit_mask, strict=strict)
 
         # 3. Apply the allocation decisions.
         for q, ovc in decisions:

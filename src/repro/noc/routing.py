@@ -58,9 +58,44 @@ class RoutingTable:
         self.net = net
         self._topo = Topology(net)
         n = net.n_routers
-        self.table: List[List[Port]] = [
-            [route_port(net, current, dest) for dest in range(n)] for current in range(n)
-        ]
+        # Inlined :func:`route_port` over precomputed coordinates: the
+        # n^2 table dominates engine construction time, which the
+        # Table-3 benchmark (and every sweep point) pays per run.
+        coords = [net.coords(i) for i in range(n)]
+        width, height = net.width, net.height
+        mesh = net.topology == "mesh"
+        local = Port.LOCAL
+        east, west = Port.EAST, Port.WEST
+        south, north = Port.SOUTH, Port.NORTH
+        table: List[List[Port]] = []
+        for current in range(n):
+            cx, cy = coords[current]
+            row: List[Port] = []
+            append = row.append
+            for dest in range(n):
+                dx, dy = coords[dest]
+                if cx != dx:
+                    if mesh:
+                        append(east if dx > cx else west)
+                    else:
+                        append(
+                            east
+                            if (dx - cx) % width <= (cx - dx) % width
+                            else west
+                        )
+                elif cy != dy:
+                    if mesh:
+                        append(south if dy > cy else north)
+                    else:
+                        append(
+                            south
+                            if (dy - cy) % height <= (cy - dy) % height
+                            else north
+                        )
+                else:
+                    append(local)
+            table.append(row)
+        self.table = table
 
     def port(self, current: int, dest: int) -> Port:
         return self.table[current][dest]

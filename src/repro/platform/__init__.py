@@ -15,7 +15,7 @@ buffers (Fig. 8).  This package reproduces that control program:
 
 from repro.platform.cyclic_buffer import BufferOverrunError, BufferUnderrunError, CyclicBuffer
 from repro.platform.controller import SimulationController, SimulationReport
-from repro.platform.profiler import PhaseProfiler
+from repro.platform.profiler import PhaseProfiler, StageProfiler
 
 __all__ = [
     "BufferOverrunError",
@@ -24,4 +24,5 @@ __all__ = [
     "PhaseProfiler",
     "SimulationController",
     "SimulationReport",
+    "StageProfiler",
 ]

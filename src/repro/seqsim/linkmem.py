@@ -51,7 +51,16 @@ class WireSpec:
 
 
 class LinkMemory:
-    """Wire value store plus HBR bookkeeping and stability tracking."""
+    """Wire value store plus HBR bookkeeping and stability tracking.
+
+    Stability is kept as a single integer bitmask, ``unstable_mask``
+    (bit ``u`` set while unit ``u`` is non-stable).  The mask is the
+    single source of truth: :meth:`is_stable` / :meth:`mark_stable` /
+    :meth:`all_stable` operate on it, every destabilising write sets the
+    reader's bit, and :class:`repro.seqsim.scheduler.WorklistScheduler`
+    finds the next non-stable unit with an O(1) amortised bit scan over
+    it instead of an O(n) flag sweep.
+    """
 
     def __init__(self, n_units: int, wires: Sequence[WireSpec]) -> None:
         self.n_units = n_units
@@ -59,6 +68,10 @@ class LinkMemory:
         self.values: List[int] = [0] * len(self.specs)
         self.hbr: List[int] = [0] * len(self.specs)
         self._masks: List[int] = [(1 << w.width) - 1 for w in self.specs]
+        #: reader unit per wire (hot-path shortcut for ``specs[w].reader``)
+        self.reader_of: List[int] = [w.reader for w in self.specs]
+        #: writer unit per wire (hot-path shortcut for ``specs[w].writer``)
+        self.writer_of: List[int] = [w.writer for w in self.specs]
         self.reads_by_unit: List[List[int]] = [[] for _ in range(n_units)]
         self.writes_by_unit: List[List[int]] = [[] for _ in range(n_units)]
         self._by_name: Dict[str, int] = {}
@@ -70,10 +83,23 @@ class LinkMemory:
             self._by_name[spec.name] = index
             self.reads_by_unit[spec.reader].append(index)
             self.writes_by_unit[spec.writer].append(index)
-        # Stability flags maintained incrementally from the HBR bits.
-        self.stable: List[bool] = [False] * n_units
+        # Stability bitmask maintained incrementally from the HBR bits.
+        self.unstable_mask: int = 0
+        self._all_units_mask: int = (1 << n_units) - 1
         self.value_changes = 0
         self.wire_writes = 0
+        # Change stamps: a global logical clock bumped on *every* stored
+        # value mutation (writes that change the value, injected faults,
+        # stuck-at application, quarantine freezes), and the clock value
+        # at each wire's last mutation.  "Inputs unchanged since my last
+        # evaluation" then reduces to comparing the max stamp over a
+        # unit's wires against a remembered clock snapshot.
+        self.change_clock: int = 0
+        self.stamp: List[int] = [0] * len(self.specs)
+        #: per-unit clock of the last mutation of *any* wire the unit
+        #: touches (reads or writes) — ``max(stamp[w] for w in touched)``
+        #: folded incrementally so the "inputs unchanged" check is O(1).
+        self.touch_stamp: List[int] = [0] * n_units
         #: per-wire count of value changes within the current system
         #: cycle; the livelock diagnosis looks for outliers here.
         self.changes_this_cycle: List[int] = [0] * len(self.specs)
@@ -102,11 +128,10 @@ class LinkMemory:
     # -- the HBR protocol ---------------------------------------------------
     def begin_cycle(self) -> None:
         """Reset every status bit; every unit becomes non-stable."""
-        for i in range(len(self.hbr)):
-            self.hbr[i] = 0
-            self.changes_this_cycle[i] = 0
-        for u in range(self.n_units):
-            self.stable[u] = False
+        n_wires = len(self.hbr)
+        self.hbr = [0] * n_wires
+        self.changes_this_cycle = [0] * n_wires
+        self.unstable_mask = self._all_units_mask
 
     def read_inputs(self, unit: int) -> List[int]:
         """Read all wires ``unit`` samples (marks them as read)."""
@@ -142,12 +167,18 @@ class LinkMemory:
         self.values[wid] = value
         self.value_changes += 1
         self.changes_this_cycle[wid] += 1
+        clock = self.change_clock + 1
+        self.change_clock = clock
+        self.stamp[wid] = clock
+        self.touch_stamp[self.reader_of[wid]] = clock
+        self.touch_stamp[self.writer_of[wid]] = clock
         invalidated: Optional[int] = None
         if self.hbr[wid] == 1:
             # The reader consumed the stale value: force re-evaluation.
-            reader = self.specs[wid].reader
-            if self.stable[reader]:
-                self.stable[reader] = False
+            reader = self.reader_of[wid]
+            bit = 1 << reader
+            if not (self.unstable_mask & bit):
+                self.unstable_mask |= bit
                 invalidated = reader
         self.hbr[wid] = 0
         return invalidated
@@ -167,13 +198,20 @@ class LinkMemory:
         return invalidated
 
     def mark_stable(self, unit: int) -> None:
-        self.stable[unit] = True
+        self.unstable_mask &= ~(1 << unit)
 
     def is_stable(self, unit: int) -> bool:
-        return self.stable[unit]
+        return not (self.unstable_mask >> unit) & 1
 
     def all_stable(self) -> bool:
-        return all(self.stable)
+        return self.unstable_mask == 0
+
+    @property
+    def stable(self) -> Tuple[bool, ...]:
+        """Per-unit stability flags, derived from ``unstable_mask``
+        (introspection helper; the mask is the working representation)."""
+        mask = self.unstable_mask
+        return tuple(not (mask >> u) & 1 for u in range(self.n_units))
 
     def unit_hbr_group(self, unit: int) -> Tuple[int, ...]:
         """The HBR bits of the wires ``unit`` reads (debug/Fig. 5 checks)."""
@@ -193,6 +231,11 @@ class LinkMemory:
         """
         value = (self.values[wid] ^ xor_mask) & self._masks[wid]
         self.values[wid] = value
+        clock = self.change_clock + 1
+        self.change_clock = clock
+        self.stamp[wid] = clock
+        self.touch_stamp[self.reader_of[wid]] = clock
+        self.touch_stamp[self.writer_of[wid]] = clock
         self.faults_injected += 1
         return value
 
@@ -215,6 +258,11 @@ class LinkMemory:
         self.stuck[wid] = (and_mask, or_mask)
         # The fault acts on the stored value immediately.
         self.values[wid] = (self.values[wid] & and_mask) | or_mask
+        clock = self.change_clock + 1
+        self.change_clock = clock
+        self.stamp[wid] = clock
+        self.touch_stamp[self.reader_of[wid]] = clock
+        self.touch_stamp[self.writer_of[wid]] = clock
         self.faults_injected += 1
 
     def set_flaky(self, wid: int) -> None:
@@ -238,9 +286,12 @@ class LinkMemory:
         self.quarantined.add(wid)
         if self.values[wid] != frozen_value:
             self.values[wid] = frozen_value
-            reader = self.specs[wid].reader
-            if self.stable[reader]:
-                self.stable[reader] = False
+            clock = self.change_clock + 1
+            self.change_clock = clock
+            self.stamp[wid] = clock
+            self.touch_stamp[self.reader_of[wid]] = clock
+            self.touch_stamp[self.writer_of[wid]] = clock
+            self.unstable_mask |= 1 << self.reader_of[wid]
         self.hbr[wid] = 0
 
     def flapping_wires(self, threshold: int) -> List[str]:

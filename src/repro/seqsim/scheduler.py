@@ -1,9 +1,21 @@
-"""Round-robin scheduling of non-stable units (section 4.2) and the
-delta-cycle convergence watchdog.
+"""Scheduling of non-stable units (section 4.2) and the delta-cycle
+convergence watchdog.
 
 "A simple round-robin scheduler will decide which non-stable router has
 to be evaluated.  If all routers are stable the network is considered to
 be completely evaluated and ready for the next system cycle."
+
+Two interchangeable schedulers implement that contract:
+
+* :class:`RoundRobinScheduler` — the literal reading: an O(n) circular
+  scan of the stability flags per pick.
+* :class:`WorklistScheduler` — the default: an O(1)-amortised bit scan
+  over the :class:`~repro.seqsim.linkmem.LinkMemory` ``unstable_mask``,
+  which the link memory maintains incrementally on every destabilising
+  write.  It provably picks units in the exact order the round-robin
+  scan would (see its docstring), so delta counts and all
+  :class:`~repro.seqsim.metrics.DeltaMetrics` are identical — it is
+  purely a constant-factor win.
 
 The paper's argument that the iteration terminates relies on the wire
 dependency graph being acyclic (state -> room -> forward).  Corrupted
@@ -40,11 +52,14 @@ class RoundRobinScheduler:
         self._pointer = n_units - 1  # first pick is unit 0
 
     def next_unit(self, links: LinkMemory) -> Optional[int]:
-        """Index of the next non-stable unit, or None when all stable."""
+        """Index of the next non-stable unit, or None when all stable.
+
+        ``n_units <= 0`` is impossible here — the constructor rejects it
+        — so the only defensive check is against a foreign zero-unit
+        link memory, which would otherwise spin the caller forever.
+        """
         n = self.n_units
-        if n <= 0 or links.n_units == 0:
-            # Defensive: a zero-unit link memory would otherwise make the
-            # caller spin forever waiting for stability that cannot come.
+        if links.n_units == 0:
             return None
         for offset in range(1, n + 1):
             unit = (self._pointer + offset) % n
@@ -56,6 +71,77 @@ class RoundRobinScheduler:
     @property
     def pointer(self) -> int:
         return self._pointer
+
+
+class WorklistScheduler:
+    """Circular-order worklist over ``LinkMemory.unstable_mask``.
+
+    The link memory already maintains the set of non-stable units
+    incrementally (every destabilising write sets the reader's bit in
+    ``unstable_mask``; :meth:`~repro.seqsim.linkmem.LinkMemory.mark_stable`
+    clears it), so the scheduler never scans: it finds the first set bit
+    at a circular offset > 0 from the pointer with two constant-time
+    big-int operations.
+
+    Order-equivalence invariant: :class:`RoundRobinScheduler` returns
+    the first unit ``u`` in the circular order ``pointer+1, ...,
+    pointer+n`` with ``is_stable(u)`` false — i.e. the first set bit of
+    ``unstable_mask`` in that circular order — and advances the pointer
+    to it.  This class computes exactly that bit: the lowest set bit of
+    ``mask >> (pointer+1)`` when the mask has bits above the pointer,
+    else the lowest set bit of the whole mask (the wrap-around).  Both
+    schedulers therefore emit the identical pick sequence from any
+    reachable link-memory state, which keeps delta counts and
+    evaluation order — and hence every simulated bit — unchanged.
+    ``tests/test_scheduler_worklist.py`` checks this property under
+    random destabilisation patterns.
+    """
+
+    def __init__(self, n_units: int) -> None:
+        if n_units <= 0:
+            raise ValueError(
+                f"scheduler needs at least one unit (got n_units={n_units}); "
+                "an empty network has nothing to schedule"
+            )
+        self.n_units = n_units
+        self._pointer = n_units - 1  # first pick is unit 0
+
+    def next_unit(self, links: LinkMemory) -> Optional[int]:
+        """Index of the next non-stable unit, or None when all stable."""
+        mask = links.unstable_mask
+        if not mask:
+            return None
+        above = mask >> (self._pointer + 1)
+        if above:
+            # First non-stable unit strictly after the pointer.
+            unit = self._pointer + 1 + ((above & -above).bit_length() - 1)
+        else:
+            # Wrap around: first non-stable unit from index 0.
+            unit = (mask & -mask).bit_length() - 1
+        self._pointer = unit
+        return unit
+
+    @property
+    def pointer(self) -> int:
+        return self._pointer
+
+
+#: scheduler name -> class, for the ``scheduler=`` knob.
+SCHEDULERS = {
+    "roundrobin": RoundRobinScheduler,
+    "worklist": WorklistScheduler,
+}
+
+
+def make_scheduler(kind: str, n_units: int):
+    """Instantiate a scheduler by name (``worklist`` or ``roundrobin``)."""
+    try:
+        cls = SCHEDULERS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {kind!r}; choose from {sorted(SCHEDULERS)}"
+        ) from None
+    return cls(n_units)
 
 
 class ConvergenceWatchdog:

@@ -41,7 +41,7 @@ from repro.noc.router import RouterInputs
 from repro.noc.routing import RoutingTable
 from repro.seqsim.linkmem import LinkMemory, WireSpec
 from repro.seqsim.metrics import DeltaMetrics
-from repro.seqsim.scheduler import ConvergenceWatchdog, RoundRobinScheduler
+from repro.seqsim.scheduler import ConvergenceWatchdog, WorklistScheduler, make_scheduler
 from repro.seqsim.statemem import PackedStateMemory
 
 __all__ = [
@@ -54,7 +54,21 @@ __all__ = [
 
 
 class SequentialNetwork(Network):
-    """Dynamic-schedule sequential simulator (the paper's method)."""
+    """Dynamic-schedule sequential simulator (the paper's method).
+
+    ``scheduler`` selects the non-stable-unit picker (``"worklist"``,
+    the default O(1)-amortised bitmask scan, or ``"roundrobin"``, the
+    literal O(n) scan — both emit the identical pick sequence; see
+    :mod:`repro.seqsim.scheduler`).  ``optimize`` selects the evaluation
+    path: the default fast path memoizes pure per-state values and
+    defers next-state computation to commit time (see
+    :meth:`_evaluate_unit_fast`); ``optimize=False`` keeps the
+    straight-line reference evaluator, which recomputes everything on
+    every delta — it exists as the benchmark baseline and as a
+    differential-testing foil.  Both paths are bit-identical to the
+    golden :meth:`Network.step` and to each other, with identical delta
+    counts and link-memory traffic counters.
+    """
 
     #: watchdog bound: deltas per system cycle may never exceed this
     #: multiple of the unit count (the NoC needs < 3x).
@@ -66,6 +80,8 @@ class SequentialNetwork(Network):
         routing: Optional[RoutingTable] = None,
         packed: bool = False,
         watchdog_factor: Optional[int] = None,
+        scheduler: str = "worklist",
+        optimize: bool = True,
     ) -> None:
         super().__init__(cfg, routing)
         self.packed = packed
@@ -73,7 +89,9 @@ class SequentialNetwork(Network):
         n = cfg.n_routers
         self._sink = (1 << rc.n_vcs) - 1
         self.metrics = DeltaMetrics(n_units=n)
-        self.scheduler = RoundRobinScheduler(n)
+        self.scheduler_name = scheduler
+        self.scheduler = make_scheduler(scheduler, n)
+        self.optimize = bool(optimize)
         self.watchdog = ConvergenceWatchdog(
             n, watchdog_factor if watchdog_factor is not None else self.MAX_DELTA_FACTOR
         )
@@ -114,6 +132,70 @@ class SequentialNetwork(Network):
                 if w >= 0:
                     self.links.values[w] = self._sink
 
+        # -- hot-path structures (fast evaluation path) --------------------
+        # Per-unit flat (port, wire) lists, the -1 sentinels filtered out
+        # once, so the inner loops never branch on absent wires.
+        self._fwd_reads: List[List[Tuple[int, int]]] = []
+        self._room_reads: List[List[Tuple[int, int]]] = []
+        self._fwd_writes: List[List[Tuple[int, int]]] = []
+        self._room_writes: List[List[Tuple[int, int]]] = []
+        self._n_writes: List[int] = []
+        for r in range(n):
+            self._fwd_reads.append(
+                [(p, w) for p, w in enumerate(self._in_fwd_wire[r]) if w >= 0]
+            )
+            self._room_reads.append(
+                [(p, w) for p, w in enumerate(self._in_room_wire[r]) if w >= 0]
+            )
+            self._fwd_writes.append(
+                [(p, w) for p, w in enumerate(self._out_fwd_wire[r]) if w >= 0]
+            )
+            self._room_writes.append(
+                [(p, w) for p, w in enumerate(self._out_room_wire[r]) if w >= 0]
+            )
+            self._n_writes.append(len(self._fwd_writes[r]) + len(self._room_writes[r]))
+        #: every wire a unit touches (reads and writes), for the
+        #: inputs-unchanged stamp check.
+        self._sig_wires: List[List[int]] = [
+            [
+                w
+                for _p, w in (
+                    self._fwd_reads[r]
+                    + self._room_reads[r]
+                    + self._fwd_writes[r]
+                    + self._room_writes[r]
+                )
+            ]
+            for r in range(n)
+        ]
+        #: flat read-wire ids, for the sig-hit path (HBR-only touch).
+        self._read_wids: List[List[int]] = [
+            [w for _p, w in self._fwd_reads[r] + self._room_reads[r]]
+            for r in range(n)
+        ]
+        self._n_ports = rc.n_ports
+        #: per-wire reader bit for inline destabilisation.
+        self._reader_bit: List[int] = [1 << rd for rd in self.links.reader_of]
+        #: per-unit mask clearing the unit's own unstable bit.
+        self._stable_clear: List[int] = [~(1 << r) for r in range(n)]
+        # Identity-keyed memos of pure per-state values.  RouterState
+        # objects are never mutated in place by this simulator (the
+        # next-state function copies), so `obj is cached_obj` proves the
+        # cached value is current.
+        self._quiesc_cache: List[Optional[tuple]] = [None] * n
+        self._room_cache: List[Optional[tuple]] = [None] * n
+        #: (state, room_in, fwd_out, grants) of the last output
+        #: computation — outputs are a pure function of those two.
+        self._out_cache: List[Optional[tuple]] = [None] * n
+        #: per-unit record of the last evaluation this cycle; the commit
+        #: computes each unit's next state exactly once from it.
+        self._pending: List[Optional[tuple]] = [None] * n
+        #: per-unit (change-clock snapshot, record) of the last full
+        #: evaluation — the "inputs unchanged since last evaluation"
+        #: memo driven by the link-memory change stamps.
+        self._eval_sig: List[Optional[tuple]] = [None] * n
+        self._fault_free_cycle = True
+
         # -- state memory ------------------------------------------------------
         self._events: List[Optional[StimuliEvents]] = [None] * n
         self._next_states = list(self.states)
@@ -129,6 +211,13 @@ class SequentialNetwork(Network):
                 for r in range(n)
             ]
             self._word_width = max(self._core_widths) + self._stim_width
+            # Packed-mode caches: the unpack memo is validated by word
+            # equality (so an injected SEU in the state memory still
+            # propagates — the corrupted word misses the cache), and the
+            # two pack memos are identity-keyed on the state objects.
+            self._read_cache: List[Optional[tuple]] = [None] * n
+            self._core_cache: List[Optional[tuple]] = [None] * n
+            self._stim_cache: List[Optional[tuple]] = [None] * n
             self.statemem = PackedStateMemory(n, self._word_width)
             for r in range(n):
                 self.statemem.initialize(r, self._pack_unit(r))
@@ -137,11 +226,27 @@ class SequentialNetwork(Network):
 
     # -- packed-mode plumbing ---------------------------------------------------
     def _pack_unit(self, r: int) -> int:
-        rc = self.cfg.router_at(r)
-        word = concat(
-            pack_router_core(rc, self.states[r]), pack_stimuli(rc, self.iface_states[r])
-        )
-        return word.value
+        return self._compose_word(r, self.states[r], self.iface_states[r])
+
+    def _compose_word(self, r: int, state, iface_state) -> int:
+        """Packed word for (state, iface) of unit ``r``, through the
+        identity-keyed pack memos (``concat(core, stim)`` layout: core in
+        the high bits, stimuli in the low ``_stim_width`` bits)."""
+        cached = self._core_cache[r]
+        if cached is not None and cached[0] is state:
+            core_bits = cached[1]
+        else:
+            rc = self.cfg.router_at(r)
+            core_bits = pack_router_core(rc, state).value << self._stim_width
+            self._core_cache[r] = (state, core_bits)
+        cached = self._stim_cache[r]
+        if cached is not None and cached[0] is iface_state:
+            stim_bits = cached[1]
+        else:
+            rc = self.cfg.router_at(r)
+            stim_bits = pack_stimuli(rc, iface_state).value
+            self._stim_cache[r] = (iface_state, stim_bits)
+        return core_bits | stim_bits
 
     def _unpack_unit(self, r: int, word: int):
         rc = self.cfg.router_at(r)
@@ -155,14 +260,308 @@ class SequentialNetwork(Network):
 
     def offer(self, router: int, vc: int, flit) -> bool:
         accepted = super().offer(router, vc, flit)
+        # The base class mutates the stimuli state *in place* (including
+        # the stall flag a refused offer sets), so every identity-keyed
+        # memo involving this unit's interface must be dropped.
+        self._eval_sig[router] = None
         if self.packed:
             # The control software writes the interface register through
-            # the memory interface, into the *current* bank — including
-            # the stall flag a refused offer sets.
-            self.statemem.write_current(router, self._pack_unit(router))
+            # the memory interface, into the *current* bank.
+            self._stim_cache[router] = None
+            word = self._pack_unit(router)
+            self.statemem.write_current(router, word)
+            self._read_cache[router] = (
+                word,
+                self.states[router],
+                self.iface_states[router],
+            )
         return accepted
 
-    # -- one unit evaluation = one delta cycle -------------------------------
+    # -- one unit evaluation = one delta cycle (fast path) -------------------
+    def _evaluate_unit_fast(self, r: int) -> None:
+        """One delta cycle of unit ``r``, optimised.
+
+        Observable behaviour (wire traffic, HBR updates, destabilisation,
+        delta counts, committed state) is bit-identical to the reference
+        :meth:`_evaluate_unit`; the differences are purely mechanical:
+
+        * pure per-state values (``is_quiescent``, ``room_mask``, the
+          packed-word unpack) are memoized, keyed on object identity or
+          stored-word equality;
+        * the next-state computation is deferred: the evaluation records
+          its sampled inputs and grants, and :meth:`_finalize_units`
+          computes each unit's next state once per system cycle from the
+          *last* evaluation's record.  At convergence the last
+          evaluation read the final wire values, so the deferred result
+          equals the per-delta result the reference path computes;
+        * wire writes are inlined against the link-memory bitmask while
+          no wire fault is installed (``_fault_free_cycle``, recomputed
+          every cycle after the pre-step hooks ran).
+        """
+        links = self.links
+        hbr = links.hbr
+        values = links.values
+
+        if self.packed:
+            word = self.statemem.read(r)
+            cached = self._read_cache[r]
+            if cached is not None and cached[0] == word:
+                state = cached[1]
+                iface_state = cached[2]
+            else:
+                state, iface_state = self._unpack_unit(r, word)
+                self._read_cache[r] = (word, state, iface_state)
+        else:
+            state = self.states[r]
+            iface_state = self.iface_states[r]
+
+        fault_free = self._fault_free_cycle
+
+        # "Inputs unchanged since last evaluation": if this unit's state
+        # and interface are the very objects of its last recorded
+        # evaluation and none of the wires it touches changed since (the
+        # link-memory change stamps prove it), its outputs are already
+        # on the wires and the recorded evaluation is reused verbatim.
+        # Only the HBR bits of the read wires need touching — values are
+        # provably identical, and unchanged writes leave HBR alone in
+        # the reference protocol too.  Disabled while wire faults are
+        # installed: flaky/stuck wires make even identical writes
+        # observable.
+        sig = self._eval_sig[r]
+        if sig is not None and fault_free:
+            rec = sig[1]
+            if (
+                rec[0] is state
+                and rec[1] is iface_state
+                and links.touch_stamp[r] <= sig[0]
+            ):
+                for w in self._read_wids[r]:
+                    hbr[w] = 1
+                self._pending[r] = rec
+                links.wire_writes += self._n_writes[r]
+                links.unstable_mask &= self._stable_clear[r]
+                return
+
+        # Read phase: sample every wire this unit reads (sets HBR bits).
+        n_ports = self._n_ports
+        fwd_in = [0] * n_ports
+        room_in = [0] * n_ports
+        room_in[0] = self._sink  # Port.LOCAL
+        any_fwd = 0
+        for p, w in self._fwd_reads[r]:
+            hbr[w] = 1
+            v = values[w]
+            fwd_in[p] = v
+            any_fwd |= v
+        for p, w in self._room_reads[r]:
+            hbr[w] = 1
+            room_in[p] = values[w]
+
+        cached = self._quiesc_cache[r]
+        if cached is not None and cached[0] is state:
+            quiescent = cached[1]
+        else:
+            quiescent = state.is_quiescent
+            self._quiesc_cache[r] = (state, quiescent)
+
+        reader_bit = self._reader_bit
+        if (
+            quiescent
+            and any_fwd == 0
+            and iface_state.eject_valid == 0
+            and not any(iface_state.inj_valid)
+        ):
+            # Quiescence fast path: idle outputs, state unchanged.
+            self._pending[r] = (state, iface_state, None)
+            sink = self._sink
+            if fault_free:
+                reader_of = links.reader_of
+                touch = links.touch_stamp
+                links.wire_writes += self._n_writes[r]
+                for _p, w in self._fwd_writes[r]:
+                    if values[w] != 0:
+                        values[w] = 0
+                        links.value_changes += 1
+                        links.changes_this_cycle[w] += 1
+                        clock = links.change_clock + 1
+                        links.change_clock = clock
+                        links.stamp[w] = clock
+                        touch[reader_of[w]] = clock
+                        touch[r] = clock
+                        if hbr[w]:
+                            links.unstable_mask |= reader_bit[w]
+                        hbr[w] = 0
+                for _p, w in self._room_writes[r]:
+                    if values[w] != sink:
+                        values[w] = sink
+                        links.value_changes += 1
+                        links.changes_this_cycle[w] += 1
+                        clock = links.change_clock + 1
+                        links.change_clock = clock
+                        links.stamp[w] = clock
+                        touch[reader_of[w]] = clock
+                        touch[r] = clock
+                        if hbr[w]:
+                            links.unstable_mask |= reader_bit[w]
+                        hbr[w] = 0
+                # Snapshot the change clock *after* the writes: a later
+                # mutation of a touched wire invalidates the memo.
+                self._eval_sig[r] = (links.change_clock, self._pending[r])
+            else:
+                for _p, w in self._fwd_writes[r]:
+                    links.write_wire(w, 0)
+                for _p, w in self._room_writes[r]:
+                    links.write_wire(w, sink)
+        else:
+            router = self.routers[r]
+            cached = self._room_cache[r]
+            if cached is not None and cached[0] is state:
+                rooms = cached[1]
+            else:
+                rooms = router.room_mask(state)
+                self._room_cache[r] = (state, rooms)
+            # Outputs depend only on (state, room_in) — a re-evaluation
+            # triggered by a forward-wire change reuses them.
+            cached = self._out_cache[r]
+            if cached is not None and cached[0] is state and cached[1] == room_in:
+                fwd_out = cached[2]
+                grants = cached[3]
+            else:
+                fwd_out, grants = router.output_words(state, room_in)
+                self._out_cache[r] = (state, room_in, fwd_out, grants)
+            self._pending[r] = (
+                state,
+                iface_state,
+                fwd_in,
+                room_in,
+                grants,
+                rooms[0],  # local room mask, for the stimuli output word
+                fwd_out[0],  # local forward word = the ejected word
+            )
+            if fault_free:
+                reader_of = links.reader_of
+                touch = links.touch_stamp
+                links.wire_writes += self._n_writes[r]
+                for p, w in self._fwd_writes[r]:
+                    v = fwd_out[p]
+                    if values[w] != v:
+                        values[w] = v
+                        links.value_changes += 1
+                        links.changes_this_cycle[w] += 1
+                        clock = links.change_clock + 1
+                        links.change_clock = clock
+                        links.stamp[w] = clock
+                        touch[reader_of[w]] = clock
+                        touch[r] = clock
+                        if hbr[w]:
+                            links.unstable_mask |= reader_bit[w]
+                        hbr[w] = 0
+                for p, w in self._room_writes[r]:
+                    v = rooms[p]
+                    if values[w] != v:
+                        values[w] = v
+                        links.value_changes += 1
+                        links.changes_this_cycle[w] += 1
+                        clock = links.change_clock + 1
+                        links.change_clock = clock
+                        links.stamp[w] = clock
+                        touch[reader_of[w]] = clock
+                        touch[r] = clock
+                        if hbr[w]:
+                            links.unstable_mask |= reader_bit[w]
+                        hbr[w] = 0
+                # Snapshot the change clock *after* the writes: a later
+                # mutation of a touched wire invalidates the memo.  Only
+                # recorded on fault-free cycles — a stuck mask can leave
+                # the wires carrying something other than fwd_out/rooms.
+                self._eval_sig[r] = (links.change_clock, self._pending[r])
+            else:
+                for p, w in self._fwd_writes[r]:
+                    links.write_wire(w, fwd_out[p])
+                for p, w in self._room_writes[r]:
+                    links.write_wire(w, rooms[p])
+
+        links.unstable_mask &= self._stable_clear[r]
+
+    def _finalize_units(self) -> None:
+        """Commit-time next-state computation for the fast path.
+
+        Each unit's next state is computed exactly once per system
+        cycle, from its last evaluation's record: the inputs sampled
+        then are the converged wire values, so the result is
+        bit-identical to recomputing on every delta.  In packed mode
+        this is also where the next-bank word is packed — once per unit
+        per cycle instead of once per delta — through the identity-keyed
+        pack memos.
+        """
+        iface = self.iface
+        packed = self.packed
+        routers = self.routers
+        pending = self._pending
+        events_out = self._events
+        next_states = self._next_states
+        next_iface = self._next_iface
+        room_cache = self._room_cache
+        iface_output_word = iface.output_word
+        iface_next_state = iface.next_state
+        for r, rec in enumerate(pending):
+            if rec is None:  # unreachable: every unit evaluates every cycle
+                rec = (self.states[r], self.iface_states[r], None)
+            if rec[2] is None:
+                new_state = rec[0]
+                new_iface = rec[1]
+                events_out[r] = None
+            else:
+                state, iface_state, fwd_in, room_in, grants, room_local, eject_word = rec
+                choice, iface_word = iface_output_word(iface_state, room_local)
+                fwd_in[0] = iface_word  # Port.LOCAL
+                router = routers[r]
+                new_state = router.next_state(
+                    state, RouterInputs(fwd=fwd_in, room=room_in), grants, strict=False
+                )
+                new_iface, events = iface_next_state(iface_state, choice, eject_word)
+                events_out[r] = events
+                cached = room_cache[r]
+                if new_state is not state and cached is not None and cached[0] is state:
+                    # Prime next cycle's room-mask memo incrementally:
+                    # only queues that popped (grants) or received a push
+                    # (non-idle fwd words) can change occupancy, and the
+                    # new bit is read off the final count — so a push
+                    # dropped against a full queue (strict=False) or a
+                    # pop-then-push of the same queue lands on the same
+                    # mask :meth:`Router.room_mask` would compute.
+                    n_vcs = router._n_vcs
+                    depth = router._depth
+                    vc_shift = router._vc_shift
+                    data_width = router._data_width
+                    idle = router._idle_type
+                    masks = list(cached[1])
+                    queues = new_state.queues
+                    for g in grants:
+                        if g is not None:
+                            q = g[0]
+                            if queues[q].count < depth:
+                                masks[q // n_vcs] |= 1 << (q % n_vcs)
+                            else:
+                                masks[q // n_vcs] &= ~(1 << (q % n_vcs))
+                    for p, word in enumerate(fwd_in):
+                        if (word >> data_width) & 3 != idle:
+                            q = p * n_vcs + (word >> vc_shift)
+                            if queues[q].count < depth:
+                                masks[q // n_vcs] |= 1 << (q % n_vcs)
+                            else:
+                                masks[q // n_vcs] &= ~(1 << (q % n_vcs))
+                    room_cache[r] = (new_state, masks)
+            next_states[r] = new_state
+            next_iface[r] = new_iface
+            if packed:
+                word = self._compose_word(r, new_state, new_iface)
+                self.statemem.write(r, word)
+                # After the bank swap this is exactly what read() returns.
+                self._read_cache[r] = (word, new_state, new_iface)
+            pending[r] = None
+
+    # -- one unit evaluation = one delta cycle (reference path) --------------
     def _evaluate_unit(self, r: int) -> None:
         rc = self.cfg.router
         n_ports = rc.n_ports
@@ -254,9 +653,13 @@ class SequentialNetwork(Network):
             links.values[wid] = value
             links.value_changes += 1
             links.changes_this_cycle[wid] += 1
-            reader = links.specs[wid].reader
-            if links.hbr[wid] == 1 and links.stable[reader]:
-                links.stable[reader] = False
+            clock = links.change_clock + 1
+            links.change_clock = clock
+            links.stamp[wid] = clock
+            links.touch_stamp[links.reader_of[wid]] = clock
+            links.touch_stamp[links.writer_of[wid]] = clock
+            if links.hbr[wid] == 1:
+                links.unstable_mask |= self._reader_bit[wid]
             links.hbr[wid] = 0
 
     # -- the system cycle -------------------------------------------------------
@@ -270,12 +673,86 @@ class SequentialNetwork(Network):
         scheduler = self.scheduler
         watchdog = self.watchdog
         watchdog.start_cycle(self.cycle)
-        while True:
-            unit = scheduler.next_unit(links)
-            if unit is None:
-                break
-            self._evaluate_unit(unit)
-            watchdog.tick(links)
+        if self.optimize:
+            # Wire faults are installed by the pre-step hooks or between
+            # cycles, never mid-cycle, so the inline-write decision holds
+            # for the whole system cycle.
+            self._fault_free_cycle = links.fault_free
+            evaluate = self._evaluate_unit_fast
+        else:
+            evaluate = self._evaluate_unit
+        if self.optimize and type(scheduler) is WorklistScheduler:
+            # Inline both the worklist pick and the watchdog count: each
+            # is a handful of int ops and the call overhead would
+            # otherwise dominate at ~n deltas per cycle.  The pick is
+            # the scheduler's own algorithm, verbatim.  In plain
+            # fault-free mode the "inputs unchanged" sig-hit — the
+            # single most common evaluation outcome — is inlined too,
+            # saving the call into :meth:`_evaluate_unit_fast`.
+            pointer = scheduler._pointer
+            limit = watchdog.limit
+            deltas = 0
+            inline_sig = not self.packed and self._fault_free_cycle
+            states = self.states
+            iface_states = self.iface_states
+            eval_sig = self._eval_sig
+            read_wids = self._read_wids
+            pending = self._pending
+            n_writes = self._n_writes
+            stable_clear = self._stable_clear
+            touch = links.touch_stamp
+            hbr = links.hbr
+            sig_writes = 0
+            while True:
+                mask = links.unstable_mask
+                if not mask:
+                    break
+                above = mask >> (pointer + 1)
+                if above:
+                    pointer = pointer + 1 + ((above & -above).bit_length() - 1)
+                else:
+                    pointer = (mask & -mask).bit_length() - 1
+                if inline_sig:
+                    sig = eval_sig[pointer]
+                    if (
+                        sig is not None
+                        and touch[pointer] <= sig[0]
+                        and sig[1][0] is states[pointer]
+                        and sig[1][1] is iface_states[pointer]
+                    ):
+                        for w in read_wids[pointer]:
+                            hbr[w] = 1
+                        pending[pointer] = sig[1]
+                        sig_writes += n_writes[pointer]
+                        links.unstable_mask = mask & stable_clear[pointer]
+                        deltas += 1
+                        if deltas > limit:
+                            scheduler._pointer = pointer
+                            watchdog._deltas = deltas - 1
+                            watchdog.tick(links)
+                        continue
+                evaluate(pointer)
+                deltas += 1
+                if deltas > limit:
+                    # Delegate to the watchdog for the trip bookkeeping
+                    # and the livelock diagnosis (raises LivelockError).
+                    scheduler._pointer = pointer
+                    watchdog._deltas = deltas - 1
+                    watchdog.tick(links)
+            scheduler._pointer = pointer
+            watchdog._deltas = deltas
+            # Wire-write accounting for the inlined sig-hits, flushed
+            # once per cycle (nothing reads the counter mid-cycle).
+            links.wire_writes += sig_writes
+        else:
+            while True:
+                unit = scheduler.next_unit(links)
+                if unit is None:
+                    break
+                evaluate(unit)
+                watchdog.tick(links)
+        if self.optimize:
+            self._finalize_units()
         self._commit(watchdog.deltas)
 
     def _commit(self, deltas: int) -> None:
@@ -397,14 +874,21 @@ class StaticSequentialNetwork(SequentialNetwork):
             hook(self)
         n = self.cfg.n_routers
         rc = self.cfg.router
-        links = self.links
         self._events = [None] * n
         deltas = 0
 
+        # The committed state is frozen for the whole cycle (writes go to
+        # the other bank), so every value that is a pure function of it —
+        # the unpacked unit, its room masks, its stimuli output word and
+        # grants — is computed once per unit per cycle and reused across
+        # the phase sweeps instead of being recomputed in B and C.
+        states = [self._state_of(r) for r in range(n)]
+        ifaces = [self._iface_of(r) for r in range(n)]
+        rooms_cache = [self.routers[r].room_mask(states[r]) for r in range(n)]
+
         # Phase A: every unit publishes its room wires (state-only).
         for r in range(n):
-            state = self._state_of(r)
-            rooms = self.routers[r].room_mask(state)
+            rooms = rooms_cache[r]
             for p in range(1, rc.n_ports):
                 w = self._out_room_wire[r][p]
                 if w >= 0:
@@ -413,38 +897,40 @@ class StaticSequentialNetwork(SequentialNetwork):
 
         # Phase B: every unit publishes its forward wires.
         fwd_cache: List[List[int]] = [[] for _ in range(n)]
+        grant_cache: List = [None] * n
         choice_cache: List[int] = [0] * n
+        word_cache: List[int] = [0] * n
+        room_in_cache: List[List[int]] = [[] for _ in range(n)]
         for r in range(n):
-            state = self._state_of(r)
-            iface_state = self._iface_of(r)
-            rooms = self.routers[r].room_mask(state)
             room_in = self._gather_room(r)
-            choice, _word = self.iface.output_word(iface_state, rooms[Port.LOCAL])
-            fwd_out, _grants = self.routers[r].output_words(state, room_in)
+            choice, word = self.iface.output_word(
+                ifaces[r], rooms_cache[r][Port.LOCAL]
+            )
+            fwd_out, grants = self.routers[r].output_words(states[r], room_in)
             fwd_cache[r] = fwd_out
+            grant_cache[r] = grants
             choice_cache[r] = choice
+            word_cache[r] = word
+            room_in_cache[r] = room_in
             for p in range(1, rc.n_ports):
                 w = self._out_fwd_wire[r][p]
                 if w >= 0:
                     self._write_wire(w, fwd_out[p])
             deltas += 1
 
-        # Phase C: every unit commits its next state.
+        # Phase C: every unit commits its next state.  No room wire was
+        # written after phase A, so phase B's gathered room inputs (and
+        # the grants derived from them) are still current.
         for r in range(n):
-            state = self._state_of(r)
-            iface_state = self._iface_of(r)
-            rooms = self.routers[r].room_mask(state)
-            room_in = self._gather_room(r)
             fwd_in = self._gather_fwd(r)
-            choice, iface_word = self.iface.output_word(
-                iface_state, rooms[Port.LOCAL]
-            )
-            fwd_in[Port.LOCAL] = iface_word
+            fwd_in[Port.LOCAL] = word_cache[r]
             new_state = self.routers[r].next_state(
-                state, RouterInputs(fwd=fwd_in, room=room_in), grants=None
+                states[r],
+                RouterInputs(fwd=fwd_in, room=room_in_cache[r]),
+                grants=grant_cache[r],
             )
             new_iface, events = self.iface.next_state(
-                iface_state, choice, fwd_cache[r][Port.LOCAL]
+                ifaces[r], choice_cache[r], fwd_cache[r][Port.LOCAL]
             )
             if self.packed:
                 rc_r = self.cfg.router_at(r)

@@ -61,19 +61,23 @@ class PackedStateMemory:
     # -- access ---------------------------------------------------------------
     def read(self, address: int) -> int:
         """Read the *current* state word of a unit."""
-        self._check(address)
+        # Bounds check inlined (vs. _check): read() runs once per delta
+        # cycle in the packed sequential simulator.
+        if not 0 <= address < self.depth:
+            raise IndexError(f"address {address} out of range (depth {self.depth})")
         self.reads += 1
         return self._mem[self._offset + address]
 
     def write(self, address: int, word: int) -> None:
         """Write a unit's *next* state word (into the other bank)."""
-        self._check(address)
+        if not 0 <= address < self.depth:
+            raise IndexError(f"address {address} out of range (depth {self.depth})")
         if word & ~self._mask:
             raise ValueError(f"word wider than {self.width} bits")
         self.writes += 1
         index = (self._offset ^ self.depth) + address
         self._mem[index] = word
-        self._parity[index] = parity(word)
+        self._parity[index] = word.bit_count() & 1
 
     def write_current(self, address: int, word: int) -> None:
         """Write into the *current* bank.
@@ -147,8 +151,11 @@ class PackedStateMemory:
         depth = self.depth
         mem = self._mem
         checks = self._parity
+        # The parity recompute is inlined (``int.bit_count``): this scan
+        # covers both banks at every system-cycle boundary, so it is the
+        # packed mode's fixed per-cycle protection overhead.
         for index in range(2 * depth):
-            if parity(mem[index]) != checks[index]:
+            if mem[index].bit_count() & 1 != checks[index]:
                 bad.append((index // depth, index % depth))
         return bad
 

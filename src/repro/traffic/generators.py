@@ -21,7 +21,7 @@ from repro.noc.packet import (
     flits_per_packet,
 )
 from repro.noc.reservation import GtReservationTable, GtStream
-from repro.traffic.rng import HardwareLfsr
+from repro.traffic.rng import _JUMP, HardwareLfsr
 
 DestinationPattern = Callable[[int, object], int]
 """Maps (source index, rng) -> destination index."""
@@ -117,10 +117,35 @@ class BernoulliBeTraffic:
         self._seq = [0] * self.net.n_routers
 
     def packets_for_cycle(self, cycle: int) -> List[Packet]:
-        """Packets generated network-wide in one cycle."""
+        """Packets generated network-wide in one cycle.
+
+        The per-source Bernoulli draw is inlined (one LFSR jump and a
+        threshold compare, exactly :meth:`HardwareLfsr.bernoulli`) —
+        this is the simulation's innermost traffic loop, executed once
+        per router per cycle whether or not a packet is generated.
+        """
         out = []
+        prob = self.packet_probability
+        if prob <= 0:
+            return out
+        threshold = int(prob * 2**32)
+        rng = self.rng
+        j0, j1, j2, j3 = _JUMP
+        state = rng.state
+        reads = 0
         for src in range(self.net.n_routers):
-            if self.packet_probability > 0 and self.rng.bernoulli(self.packet_probability):
+            state = (
+                j0[state & 0xFF]
+                ^ j1[(state >> 8) & 0xFF]
+                ^ j2[(state >> 16) & 0xFF]
+                ^ j3[state >> 24]
+            )
+            reads += 1
+            if state < threshold:
+                # Sync the generator before the pattern consumes it.
+                rng.state = state
+                rng.words_read += reads
+                reads = 0
                 seq = self._seq[src]
                 self._seq[src] = (seq + 1) & 0xFF
                 payload = bytes(
@@ -136,6 +161,9 @@ class BernoulliBeTraffic:
                         seq=seq,
                     )
                 )
+                state = rng.state
+        rng.state = state
+        rng.words_read += reads
         return out
 
 

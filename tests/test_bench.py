@@ -1,0 +1,69 @@
+"""CI smoke test for the Table-3 speed benchmark (``repro bench``).
+
+Runs the benchmark at a tiny cycle budget on the two sequential rows
+(the cheap ones) and checks the JSON document shape end to end — the
+same document the committed ``BENCH_table3.json`` at the repo root
+holds, whose well-formedness is also asserted here.
+"""
+
+import json
+import os
+
+from repro.experiments import bench
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+class TestBenchDocument:
+    def test_smoke_document_shape(self, tmp_path):
+        doc = bench.run(
+            cycles=40, engines=("sequential", "sequential-baseline"), rounds=1
+        )
+        assert doc["benchmark"] == "table3_engine_speed"
+        assert doc["workload"]["be_load"] == bench.LOAD
+        seq = doc["engines"]["sequential"]
+        base = doc["engines"]["sequential-baseline"]
+        assert seq["cycles"] == 40 and base["cycles"] == 40
+        assert seq["cps"] > 0 and seq["seconds"] > 0
+        # The optimisations never change the delta schedule, only its cost.
+        assert seq["total_deltas"] == base["total_deltas"]
+        assert doc["pre_pr"]["sequential_cps"] == bench.PRE_PR_SEQUENTIAL_CPS
+        assert doc["speedup_vs_reference_loop"] > 0
+
+        out = tmp_path / "bench.json"
+        path = bench.write(doc, str(out))
+        assert path == str(out)
+        assert json.loads(out.read_text()) == doc
+
+        rendered = bench.render(doc)
+        assert "sequential" in rendered and "cycles/s" in rendered
+
+    def test_cli_bench_smoke(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "BENCH_table3.json"
+        rc = main(
+            ["bench", "--scale", "0.1", "--out", str(out), "--rounds", "1"]
+        )
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert set(doc["engines"]) == {
+            "rtl",
+            "cycle",
+            "sequential",
+            "sequential-baseline",
+        }
+        assert str(out) in capsys.readouterr().out
+
+    def test_committed_artifact_well_formed(self):
+        path = os.path.join(REPO_ROOT, "BENCH_table3.json")
+        assert os.path.exists(path), "BENCH_table3.json missing from repo root"
+        with open(path) as stream:
+            doc = json.load(stream)
+        assert doc["benchmark"] == "table3_engine_speed"
+        assert doc["pre_pr"]["sequential_cps"] > 0
+        assert doc["engines"]["sequential"]["cps"] > 0
+        # The headline acceptance number: the recorded run beat the
+        # pre-overhaul sequential speed by at least 3x on the
+        # reference machine.
+        assert doc["pre_pr"]["speedup"] >= 3.0

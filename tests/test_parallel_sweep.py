@@ -1,0 +1,126 @@
+"""Determinism contract of the process-parallel sweep runner.
+
+:func:`repro.experiments.parallel.parallel_map` promises results in
+submission order, byte-identical to the serial loop, with a silent
+serial fallback when worker processes cannot be used — and *no*
+swallowing of real experiment failures.  These tests pin each clause,
+then assert byte equality on the real sweeps built on top of it
+(Figure-1 load sweep, traffic-pattern sweep, multi-seed fault
+campaigns).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import fig1, patterns
+from repro.experiments.parallel import (
+    WORKERS_ENV,
+    chunked,
+    parallel_map,
+    resolve_workers,
+)
+from repro.faults import CampaignConfig
+from repro.platform import StageProfiler
+
+
+def square(x):
+    return x * x
+
+
+def boom(x):
+    raise ValueError(f"point {x} failed")
+
+
+class TestParallelMap:
+    def test_order_preserved_serial(self):
+        assert parallel_map(square, range(10), workers=1) == [
+            x * x for x in range(10)
+        ]
+
+    def test_order_preserved_parallel(self):
+        assert parallel_map(square, range(10), workers=4) == [
+            x * x for x in range(10)
+        ]
+
+    def test_empty_and_single(self):
+        assert parallel_map(square, [], workers=4) == []
+        assert parallel_map(square, [7], workers=4) == [49]
+
+    def test_unpicklable_fn_falls_back_to_serial(self):
+        # A lambda cannot cross a process boundary; the sweep must
+        # silently rerun serially and still return correct results.
+        profiler = StageProfiler()
+        result = parallel_map(lambda x: x + 1, range(6), workers=4, profiler=profiler)
+        assert result == list(range(1, 7))
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError, match="failed"):
+            parallel_map(boom, range(4), workers=1)
+
+    def test_profiler_counters(self):
+        profiler = StageProfiler()
+        parallel_map(square, range(5), workers=1, profiler=profiler)
+        assert profiler.counters["points"] == 5
+        assert profiler.counters["workers"] == 1
+        assert profiler.seconds["sweep"] >= 0.0
+        assert "sweep" in profiler.render()
+
+
+class TestResolveWorkers:
+    def test_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "5")
+        assert resolve_workers(None) == 5
+
+    def test_default_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers(None) == max(1, os.cpu_count() or 1)
+
+    def test_floor_of_one(self):
+        assert resolve_workers(0) == 1
+        assert resolve_workers(-3) == 1
+
+
+class TestChunked:
+    def test_partition_preserves_order(self):
+        items = list(range(11))
+        chunks = chunked(items, 3)
+        assert len(chunks) == 3
+        assert [x for chunk in chunks for x in chunk] == items
+        sizes = [len(c) for c in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_degenerate(self):
+        assert chunked([1, 2], 10) == [[1], [2]]
+        assert chunked([], 3) == []
+
+
+class TestSweepDeterminism:
+    """Serial and parallel runs of the real sweeps are byte-identical."""
+
+    def test_fig1_serial_equals_parallel(self):
+        loads = (0.0, 0.06, 0.12)
+        serial = fig1.run(loads, cycles=120, workers=1)
+        parallel = fig1.run(loads, cycles=120, workers=4)
+        assert serial.points == parallel.points
+
+    def test_patterns_serial_equals_parallel(self):
+        names = ("uniform", "transpose")
+        serial = patterns.run(names, cycles=100, workers=1)
+        parallel = patterns.run(names, cycles=100, workers=4)
+        assert serial.points == parallel.points
+
+    def test_campaign_sweep_deterministic(self):
+        from repro.experiments.resilience import run_sweep
+
+        base = CampaignConfig(
+            width=3, height=3, n_faults=6, include_flap=False, spacing=3
+        )
+        serial = run_sweep([1, 2], base=base, workers=1)
+        parallel = run_sweep([1, 2], base=base, workers=2)
+        assert [r.config.seed for r in serial] == [1, 2]
+        assert serial == parallel

@@ -153,6 +153,23 @@ class TestRoundRobinGrantFunction:
         g = round_robin_grant(req, 10, last)
         assert (req >> g) & 1
 
+    @given(
+        st.integers(min_value=0, max_value=2**20 - 1),
+        st.integers(min_value=0, max_value=19),
+    )
+    def test_bit_scan_equivalent(self, req, last):
+        """The router's inlined bit-scan arbiter (noc.router.output_words)
+        must agree with the canonical scan for every request/pointer pair."""
+        if req:
+            above = req >> (last + 1)
+            if above:
+                g = (above & -above).bit_length() + last
+            else:
+                g = (req & -req).bit_length() - 1
+        else:
+            g = -1
+        assert g == round_robin_grant(req, 20, last)
+
     @given(st.integers(min_value=0, max_value=9))
     def test_fairness_cycle(self, start):
         """Granting everyone in turn visits all requesters in 10 steps."""
