@@ -15,6 +15,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import sys
 import time
 from typing import List, Optional
 
@@ -85,10 +86,18 @@ def cmd_simulate(args) -> int:
     from repro.traffic import BernoulliBeTraffic, TrafficDriver, uniform_random
 
     net = _network_from(args)
+    lanes = getattr(args, "lanes", 1)
+    if lanes > 1 and args.engine != "batch":
+        print("--lanes requires --engine batch", file=sys.stderr)
+        return 2
     kwargs = {}
     if args.engine == "sequential" and args.scheduler:
         kwargs["scheduler"] = args.scheduler
+    if args.engine == "batch":
+        kwargs["lanes"] = lanes
     engine = make_engine(args.engine, net, **kwargs)
+    if args.engine == "batch" and lanes > 1:
+        return _simulate_batched(args, net, engine, lanes)
     be = BernoulliBeTraffic(net, args.load, uniform_random(net), seed=args.seed)
     driver = TrafficDriver(engine, be=be)
     tracker = PacketLatencyTracker(net)
@@ -120,6 +129,42 @@ def cmd_simulate(args) -> int:
             f"delta cycles: {metrics.total_deltas} "
             f"({metrics.mean_deltas_per_cycle():.1f}/cycle, "
             f"extra fraction {metrics.extra_fraction():.3f})"
+        )
+    return 0
+
+
+def _simulate_batched(args, net, engine, lanes: int) -> int:
+    """Lane-parallel ``simulate``: one independent seed per lane."""
+    from repro.engines import drain_batched, run_batched
+    from repro.traffic import BernoulliBeTraffic, TrafficDriver, uniform_random
+
+    drivers = [
+        TrafficDriver(
+            engine.lane(i),
+            be=BernoulliBeTraffic(
+                net, args.load, uniform_random(net), seed=args.seed + i
+            ),
+        )
+        for i in range(lanes)
+    ]
+    start = time.perf_counter()
+    run_batched(engine, drivers, args.cycles)
+    for driver in drivers:
+        driver.be = None
+    done = drain_batched(engine, drivers)
+    elapsed = time.perf_counter() - start
+    lane_cycles = lanes * engine.cycle
+    print(
+        f"batch engine: {lanes} lanes x {engine.cycle} cycles "
+        f"in {elapsed:.2f} s ({lane_cycles / elapsed:,.0f} aggregate "
+        f"lane-cycles/s, {engine.cycle / elapsed:,.0f} wall cycles/s)"
+    )
+    for i in range(lanes):
+        inj = len(engine.lane_injections(i))
+        ej = len(engine.lane_ejections(i))
+        print(
+            f"  lane {i}: seed {args.seed + i:#x}, {inj} flits injected, "
+            f"{ej} ejected, drained after {done[i]} extra cycles"
         )
     return 0
 
@@ -254,10 +299,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("simulate", help="run a workload on an engine")
     _network_args(p)
-    p.add_argument("--engine", choices=["rtl", "cycle", "sequential"], default="sequential")
+    p.add_argument(
+        "--engine",
+        choices=["rtl", "cycle", "sequential", "batch"],
+        default="sequential",
+    )
     p.add_argument("--load", type=float, default=0.08)
     p.add_argument("--cycles", type=int, default=500)
     p.add_argument("--seed", type=int, default=0xC11)
+    p.add_argument(
+        "--lanes", type=int, default=1,
+        help="independent simulations run side by side (batch engine only)",
+    )
     p.add_argument(
         "--scheduler", choices=["worklist", "roundrobin"], default=None,
         help="delta-cycle scheduler (sequential engine only)",

@@ -6,6 +6,9 @@ mirroring the paper's section 3 comparison:
 * :class:`RtlEngine` — event-driven, signal-level ("VHDL", Table 3 row 1)
 * :class:`CycleEngine` — cycle-based golden model ("SystemC", row 2)
 * :class:`SequentialEngine` — the FPGA sequential simulator (rows 3-4)
+* :class:`BatchEngine` — vectorized NumPy array sweeps with a lane axis
+  batching many independent simulations (the software analogue of
+  instantiating several FPGA simulator instances side by side)
 
 All engines expose the same interface (offer/step/run/snapshot plus the
 injection/ejection logs), so the equivalence checker and the benchmark
@@ -13,18 +16,23 @@ harness treat them interchangeably.
 """
 
 from repro.engines.base import EngineInfo, list_engines, make_engine
+from repro.engines.batch import BatchEngine, BatchLane, drain_batched, run_batched
 from repro.engines.cycle import CycleEngine
 from repro.engines.rtl import RtlEngine
 from repro.engines.sequential import SequentialEngine
 from repro.engines.equivalence import EquivalenceReport, run_lockstep
 
 __all__ = [
+    "BatchEngine",
+    "BatchLane",
     "CycleEngine",
     "EngineInfo",
     "EquivalenceReport",
     "RtlEngine",
     "SequentialEngine",
+    "drain_batched",
     "list_engines",
     "make_engine",
+    "run_batched",
     "run_lockstep",
 ]

@@ -46,6 +46,7 @@ class EngineInfo:
 
 def _registry() -> Dict[str, EngineInfo]:
     # Imported lazily to avoid import cycles.
+    from repro.engines.batch import BatchEngine
     from repro.engines.cycle import CycleEngine
     from repro.engines.rtl import RtlEngine
     from repro.engines.sequential import SequentialEngine
@@ -68,6 +69,12 @@ def _registry() -> Dict[str, EngineInfo]:
             "FPGA-style sequential simulation with HBR dynamic scheduling",
             "FPGA simulator (Table 3: 22-61.6 kHz)",
             SequentialEngine,
+        ),
+        "batch": EngineInfo(
+            "batch",
+            "vectorized bulk-synchronous array sweeps, lane-parallel seeds",
+            "batched FPGA lanes (one instance per independent run)",
+            BatchEngine,
         ),
     }
 

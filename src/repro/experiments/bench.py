@@ -35,6 +35,10 @@ SEED = 0xBEE
 #: runs, interleaved against the post-overhaul build to cancel drift).
 PRE_PR_SEQUENTIAL_CPS = 933.0
 
+#: lanes the batch engine is benchmarked with: enough to amortise the
+#: per-sweep NumPy dispatch overhead across independent simulations.
+BATCH_LANES = 16
+
 
 @dataclass
 class BenchPoint:
@@ -47,6 +51,11 @@ class BenchPoint:
     cps: float
     total_deltas: Optional[int] = None
     mean_deltas_per_cycle: Optional[float] = None
+    #: batch engine only: lanes simulated side by side.  ``cps`` is then
+    #: the *aggregate* lane-cycles per second; ``per_lane_cps`` the wall
+    #: rate each individual simulation advances at.
+    lanes: Optional[int] = None
+    per_lane_cps: Optional[float] = None
 
 
 def _engine_factories():
@@ -63,6 +72,11 @@ def _engine_factories():
         "sequential-baseline": (
             sequential_baseline,
             "reference delta loop (no scheduler/memo optimisations)",
+            1,
+        ),
+        "batch": (
+            None,  # measured by _run_once_batched, not _run_once
+            f"batched FPGA lanes ({BATCH_LANES} instances side by side)",
             1,
         ),
     }
@@ -84,36 +98,80 @@ def _run_once(factory, cycles: int) -> float:
     return elapsed
 
 
+def _run_once_batched(cycles: int, lanes: int = BATCH_LANES) -> float:
+    """Seconds for one batched construction + run: ``lanes`` independent
+    copies of the Table-3 workload (seeds ``SEED .. SEED+lanes-1``)
+    advanced side by side."""
+    from repro.engines import BatchEngine, run_batched
+    from repro.traffic import BernoulliBeTraffic, TrafficDriver, uniform_random
+
+    start = time.perf_counter()
+    net = fig1_network()
+    engine = BatchEngine(net, lanes=lanes)
+    drivers = [
+        TrafficDriver(
+            engine.lane(i),
+            be=BernoulliBeTraffic(net, LOAD, uniform_random(net), seed=SEED + i),
+        )
+        for i in range(lanes)
+    ]
+    run_batched(engine, drivers, cycles)
+    elapsed = time.perf_counter() - start
+    assert engine.cycle == cycles
+    _run_once.last_engine = engine
+    return elapsed
+
+
 def measure(
-    name: str, cycles: Optional[int] = None, rounds: int = 3
+    name: str, cycles: Optional[int] = None, rounds: int = 3, lanes: int = BATCH_LANES
 ) -> BenchPoint:
     """Best-of-``rounds`` measurement of one engine (after one warmup)."""
     factory, analogue, div = _engine_factories()[name]
     cycles = max(20, (cycles if cycles is not None else scale(300)) // div)
-    _run_once(factory, min(cycles, 20))  # warmup: imports, code caches
-    seconds = min(_run_once(factory, cycles) for _ in range(max(1, rounds)))
+    if name == "batch":
+        _run_once_batched(min(cycles, 20), lanes)  # warmup
+        seconds = min(
+            _run_once_batched(cycles, lanes) for _ in range(max(1, rounds))
+        )
+    else:
+        _run_once(factory, min(cycles, 20))  # warmup: imports, code caches
+        seconds = min(_run_once(factory, cycles) for _ in range(max(1, rounds)))
     engine = _run_once.last_engine
     metrics = getattr(engine, "metrics", None)
+    batched = name == "batch"
     return BenchPoint(
         name=name,
         paper_analogue=analogue,
         cycles=cycles,
         seconds=seconds,
-        cps=cycles / seconds,
+        # the batch engine advances `lanes` simulations per wall second:
+        # cps is the aggregate rate, the comparable per-run figure.
+        cps=(lanes * cycles if batched else cycles) / seconds,
         total_deltas=metrics.total_deltas if metrics else None,
         mean_deltas_per_cycle=(
             round(metrics.mean_deltas_per_cycle(), 3) if metrics else None
         ),
+        lanes=lanes if batched else None,
+        per_lane_cps=round(cycles / seconds, 1) if batched else None,
     )
 
 
 def run(
     cycles: Optional[int] = None,
-    engines: Sequence[str] = ("rtl", "cycle", "sequential", "sequential-baseline"),
+    engines: Sequence[str] = (
+        "rtl",
+        "cycle",
+        "sequential",
+        "sequential-baseline",
+        "batch",
+    ),
     rounds: int = 3,
+    lanes: int = BATCH_LANES,
 ) -> Dict:
     """Measure ``engines`` and assemble the BENCH_table3 document."""
-    points: List[BenchPoint] = [measure(name, cycles, rounds) for name in engines]
+    points: List[BenchPoint] = [
+        measure(name, cycles, rounds, lanes) for name in engines
+    ]
     by_name = {p.name: p for p in points}
     doc: Dict = {
         "benchmark": "table3_engine_speed",
@@ -137,6 +195,9 @@ def run(
         }
         if base is not None:
             doc["speedup_vs_reference_loop"] = round(seq.cps / base.cps, 2)
+        batch = by_name.get("batch")
+        if batch is not None:
+            doc["speedup_batch_vs_sequential"] = round(batch.cps / seq.cps, 2)
     return doc
 
 
@@ -144,6 +205,7 @@ def render(doc: Dict) -> str:
     rows = [
         (
             p["name"],
+            p.get("lanes") or 1,
             p["cycles"],
             f"{p['seconds']:.3f}",
             f"{p['cps']:,.0f}",
@@ -152,7 +214,7 @@ def render(doc: Dict) -> str:
         for p in doc["engines"].values()
     ]
     out = render_table(
-        ["engine", "cycles", "seconds", "cycles/s", "deltas"],
+        ["engine", "lanes", "cycles", "seconds", "cycles/s", "deltas"],
         rows,
         title="Table 3 benchmark — simulated cycles per second",
     )
@@ -165,6 +227,13 @@ def render(doc: Dict) -> str:
         out += (
             "\nsequential vs reference delta loop: "
             f"{doc['speedup_vs_reference_loop']:.2f}x"
+        )
+    if "speedup_batch_vs_sequential" in doc:
+        batch = doc["engines"]["batch"]
+        out += (
+            f"\nbatch ({batch['lanes']} lanes) vs sequential: "
+            f"{doc['speedup_batch_vs_sequential']:.2f}x aggregate "
+            f"({batch['per_lane_cps']:,.0f} cycles/s per lane)"
         )
     return out
 

@@ -93,6 +93,38 @@ def run_fig1_workload(
     driver.gt = None
     driver.drain()
     tracker.collect(engine)
+    metrics = getattr(engine, "metrics", None)
+    return _fig1_point_result(
+        net,
+        tracker,
+        be_load=be_load,
+        gt_period=gt_period,
+        cycles=cycles,
+        warmup=warmup,
+        n_injections=len(engine.injections),
+        done_cycle=engine.cycle,
+        extra_delta_fraction=metrics.extra_fraction() if metrics else None,
+    )
+
+
+def _fig1_point_result(
+    net: NetworkConfig,
+    tracker,
+    be_load: float,
+    gt_period: int,
+    cycles: int,
+    warmup: int,
+    n_injections: int,
+    done_cycle: int,
+    extra_delta_fraction: Optional[float],
+) -> WorkloadResult:
+    """Assemble one Figure-1 point from a collected latency tracker.
+
+    ``done_cycle`` is the cycle at which *this* run (or lane) finished
+    draining — the denominator of the accepted-load figure, so a lane
+    of a batched sweep reports the same number as its solo run even
+    when other lanes kept the batch stepping longer.
+    """
 
     def stats_for(pclass):
         values = [
@@ -109,7 +141,6 @@ def run_fig1_workload(
     max_hops = max(
         (s.hops for s in tracker.samples if s.pclass is PacketClass.GT), default=2
     )
-    metrics = getattr(engine, "metrics", None)
     return WorkloadResult(
         be_load=be_load,
         gt_period=gt_period,
@@ -121,9 +152,69 @@ def run_fig1_workload(
         guarantee=gt_guarantee_bound(net.router, GT_PAYLOAD_BYTES, max_hops),
         gt_packets=gt_n,
         be_packets=be_n,
-        extra_delta_fraction=metrics.extra_fraction() if metrics else None,
-        accepted_be_load=len(engine.injections) / (engine.cycle * net.n_routers),
+        extra_delta_fraction=extra_delta_fraction,
+        accepted_be_load=n_injections / (done_cycle * net.n_routers),
     )
+
+
+def run_fig1_workloads_batched(
+    be_loads: Sequence[float],
+    cycles: int,
+    gt_period: int = 1300,
+    seed: int = 0x5EED,
+    warmup: Optional[int] = None,
+):
+    """The whole Figure-1 load sweep on one batch engine, one lane per
+    swept load.
+
+    Every lane carries the identical GT streams and seed as its solo
+    :func:`run_fig1_workload` run, and the batch engine is bit-identical
+    to the sequential engine per lane, so each returned point equals the
+    solo result — except ``extra_delta_fraction``, which is exactly 2.0
+    by construction (three bulk-synchronous sweeps per cycle against the
+    one-sweep-per-router static minimum).
+    """
+    from repro.engines import BatchEngine, drain_batched, run_batched
+
+    net = fig1_network()
+    lanes = len(be_loads)
+    engine = BatchEngine(net, lanes=lanes)
+    warmup = gt_period if warmup is None else warmup
+    drivers = []
+    trackers = []
+    for i, be_load in enumerate(be_loads):
+        gt_table = fig1_gt_streams(net)
+        gt = GtStreamTraffic(net, gt_table.streams, period=gt_period)
+        be = BernoulliBeTraffic(net, be_load, uniform_random(net), seed=seed)
+        driver = TrafficDriver(engine.lane(i), be=be, gt=gt)
+        tracker = PacketLatencyTracker(net)
+        driver.attach_tracker(tracker)
+        drivers.append(driver)
+        trackers.append(tracker)
+
+    run_batched(engine, drivers, warmup + cycles)
+    for driver in drivers:
+        driver.be = None
+        driver.gt = None
+    done = drain_batched(engine, drivers)
+
+    results = []
+    for i, be_load in enumerate(be_loads):
+        trackers[i].collect(engine.lane(i))
+        results.append(
+            _fig1_point_result(
+                net,
+                trackers[i],
+                be_load=be_load,
+                gt_period=gt_period,
+                cycles=cycles,
+                warmup=warmup,
+                n_injections=len(engine.lane_injections(i)),
+                done_cycle=warmup + cycles + done[i],
+                extra_delta_fraction=engine.metrics.extra_fraction(),
+            )
+        )
+    return results
 
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:

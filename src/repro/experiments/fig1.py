@@ -22,9 +22,10 @@ from repro.experiments.common import (
     WorkloadResult,
     render_table,
     run_fig1_workload,
+    run_fig1_workloads_batched,
     scale,
 )
-from repro.experiments.parallel import parallel_map
+from repro.experiments.parallel import lane_batchable, parallel_map
 
 #: the paper's x-axis, thinned to keep the default run affordable.
 DEFAULT_LOADS = (0.0, 0.02, 0.04, 0.06, 0.08, 0.10, 0.12, 0.14)
@@ -88,10 +89,25 @@ def run(
     Each point is a pure function of ``(load, cycles, engine_cls,
     seed)``, so the parallel sweep is byte-identical to the serial one
     (``workers=1``); the parallel-sweep tests assert it.
+
+    Wide default sweeps (no explicit ``workers`` or ``engine_cls``)
+    instead run on the batch engine's lane axis — one vectorized
+    process, one lane per load, same numbers per point (the batch
+    engine is bit-identical to the sequential engine; only the
+    delta-accounting field differs).
     """
     from repro.engines import SequentialEngine
 
     cycles = cycles if cycles is not None else scale(4000)
+    if engine_cls is None and lane_batchable(len(loads), workers):
+        if profiler is not None:
+            profiler.count("points", len(loads))
+            profiler.count("lanes", len(loads))
+            with profiler.stage("sweep"):
+                return Fig1Result(
+                    run_fig1_workloads_batched(loads, cycles, seed=seed)
+                )
+        return Fig1Result(run_fig1_workloads_batched(loads, cycles, seed=seed))
     engine_cls = engine_cls or SequentialEngine
     point = partial(
         run_fig1_workload, cycles=cycles, engine_cls=engine_cls, seed=seed

@@ -29,6 +29,26 @@ R = TypeVar("R")
 #: environment override for the default worker count.
 WORKERS_ENV = "REPRO_WORKERS"
 
+#: sweeps at least this wide default to the batch engine's lane axis
+#: (one vectorized process) instead of the process pool; narrower
+#: sweeps stay on the process path, where the per-point cost dominates.
+LANE_BATCH_THRESHOLD = 4
+
+
+def lane_batchable(n_points: int, workers: Optional[int] = None) -> bool:
+    """Whether a sweep should run on the batch engine's lane axis.
+
+    Lane batching replaces the process pool with a single
+    :class:`repro.engines.BatchEngine` carrying one sweep point per
+    lane — every lane is bit-identical to the sequential engine, so the
+    numbers do not change, only the wall-clock.  It is chosen
+    automatically only when the caller did not pin a worker count
+    (an explicit ``workers=`` keeps the historical process path, which
+    the serial-vs-parallel byte-equality tests rely on) and the sweep
+    is wide enough to amortise the vectorized sweep setup.
+    """
+    return workers is None and n_points >= LANE_BATCH_THRESHOLD
+
 
 def resolve_workers(workers: Optional[int] = None) -> int:
     """The worker count to use: argument > $REPRO_WORKERS > cpu_count."""

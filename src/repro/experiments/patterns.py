@@ -21,7 +21,7 @@ from functools import partial
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.common import render_table, scale
-from repro.experiments.parallel import parallel_map
+from repro.experiments.parallel import lane_batchable, parallel_map
 
 #: offered BE load shared by every pattern (fraction of capacity).
 LOAD = 0.10
@@ -87,10 +87,15 @@ def run_pattern(
     driver.be = None
     driver.drain()
     tracker.collect(engine)
+    return _pattern_result(name, net, tracker, engine.ejections)
+
+
+def _pattern_result(name: str, net, tracker, ejection_log) -> PatternResult:
+    """Summarise one pattern run from its collected tracker and log."""
     stats = tracker.stats()
     target = net.index(*HOTSPOT_XY)
-    ejections = len(engine.ejections)
-    to_target = sum(1 for e in engine.ejections if e.router == target)
+    ejections = len(ejection_log)
+    to_target = sum(1 for e in ejection_log if e.router == target)
     return PatternResult(
         name=name,
         mean=stats.mean,
@@ -101,6 +106,44 @@ def run_pattern(
         ejections=ejections,
         to_hotspot_fraction=to_target / ejections if ejections else 0.0,
     )
+
+
+def run_patterns_batched(
+    names: Sequence[str], cycles: int, load: float = LOAD, seed: int = 0x7A77
+) -> List[PatternResult]:
+    """The pattern sweep on one batch engine, one lane per pattern.
+
+    Each lane offers the identical stimuli its solo :func:`run_pattern`
+    run would, and the batch engine is bit-identical to the sequential
+    engine per lane, so the summaries match the process-path sweep.
+    """
+    from repro.engines import BatchEngine, drain_batched, run_batched
+    from repro.noc import NetworkConfig
+    from repro.stats import PacketLatencyTracker
+    from repro.traffic import BernoulliBeTraffic, TrafficDriver
+
+    net = NetworkConfig(6, 6, topology="torus")
+    engine = BatchEngine(net, lanes=len(names))
+    drivers = []
+    trackers = []
+    for i, name in enumerate(names):
+        be = BernoulliBeTraffic(net, load, _make_pattern(name, net), seed=seed)
+        driver = TrafficDriver(engine.lane(i), be=be)
+        tracker = PacketLatencyTracker(net)
+        driver.attach_tracker(tracker)
+        drivers.append(driver)
+        trackers.append(tracker)
+    run_batched(engine, drivers, cycles)
+    for driver in drivers:
+        driver.be = None
+    drain_batched(engine, drivers)
+    results = []
+    for i, name in enumerate(names):
+        trackers[i].collect(engine.lane(i))
+        results.append(
+            _pattern_result(name, net, trackers[i], engine.lane_ejections(i))
+        )
+    return results
 
 
 @dataclass
@@ -157,6 +200,17 @@ def run(
     profiler=None,
 ) -> PatternsResult:
     cycles = cycles if cycles is not None else scale(1200)
+    if lane_batchable(len(patterns), workers):
+        if profiler is not None:
+            profiler.count("points", len(patterns))
+            profiler.count("lanes", len(patterns))
+            with profiler.stage("sweep"):
+                return PatternsResult(
+                    run_patterns_batched(patterns, cycles, load=load, seed=seed)
+                )
+        return PatternsResult(
+            run_patterns_batched(patterns, cycles, load=load, seed=seed)
+        )
     point = partial(run_pattern, cycles=cycles, load=load, seed=seed)
     return PatternsResult(
         parallel_map(point, patterns, workers=workers, profiler=profiler)

@@ -112,3 +112,31 @@ def make_policy(net: NetworkConfig, position: int) -> BeVcPolicy:
     if net.router.deadlock_avoidance and len(net.router.be_vcs) >= 2:
         return dateline_policy(net, position)
     return free_policy(net.router)
+
+
+def packed_policy(net: NetworkConfig):
+    """The whole network's BE VC-selection policy as one gather table.
+
+    Returns an ``[n_routers, n_ports, n_vcs, n_ports, n_vcs]`` int64
+    NumPy array: ``table[r, in_port, in_vc, out_port]`` holds the
+    candidate output VCs in trial order, padded with ``-1``.  The
+    entries are produced by calling :func:`make_policy` itself for every
+    position and argument combination, so the packed table is the exact
+    policy every engine shares — the batch engine gathers from it
+    instead of calling the closure per HEAD flit.
+    """
+    import numpy as np
+
+    cfg = net.router
+    n_ports, n_vcs = cfg.n_ports, cfg.n_vcs
+    table = np.full(
+        (net.n_routers, n_ports, n_vcs, n_ports, n_vcs), -1, dtype=np.int64
+    )
+    for r in range(net.n_routers):
+        policy = make_policy(net, r)
+        for in_port in range(n_ports):
+            for in_vc in range(n_vcs):
+                for out_port in range(n_ports):
+                    cands = policy(in_port, in_vc, out_port)
+                    table[r, in_port, in_vc, out_port, : len(cands)] = cands
+    return table

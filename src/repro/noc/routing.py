@@ -120,6 +120,28 @@ class RoutingTable:
                 raise RuntimeError("routing loop detected")
         return path
 
+    def packed(self):
+        """The table as a dense NumPy gather array over the 4+4-bit
+        header coordinate space.
+
+        Returns an ``[n_routers, 256]`` int64 array indexed by the raw
+        header destination code ``(dest_y << 4) | dest_x``; entries for
+        coordinates off the fabric are ``-1`` so callers can reproduce
+        the object model's bounds check (``NetworkConfig.index`` raises
+        for them).  Regenerate after :meth:`recompute_avoiding` — the
+        packed copy does not alias the mutable rows.
+        """
+        import numpy as np
+
+        net = self.net
+        packed = np.full((net.n_routers, 256), -1, dtype=np.int64)
+        for dest in range(net.n_routers):
+            x, y = net.coords(dest)
+            code = (y << 4) | x
+            for r in range(net.n_routers):
+                packed[r, code] = int(self.table[r][dest])
+        return packed
+
     def recompute_avoiding(self, blocked: Iterable[Tuple[int, int]]) -> None:
         """Regenerate the table so no route crosses a blocked link.
 

@@ -63,6 +63,28 @@ class Topology:
             return None
         return self._neighbor[router].get(port)
 
+    def packed_neighbors(self):
+        """The addressing function as dense arrays for the batch engine.
+
+        Returns ``(index, connected)``: two ``[n_routers, n_ports]``
+        NumPy arrays where ``index[r, p]`` is the neighbour across port
+        ``p`` (0 where unconnected — mask with ``connected`` before
+        use) and ``connected[r, p]`` is the boolean link-present mask.
+        This is literally the section-7.1 "change in the addressing
+        function of the link memories", exported as a gather table.
+        """
+        import numpy as np
+
+        n = self.net.n_routers
+        n_ports = self.net.router.n_ports
+        index = np.zeros((n, n_ports), dtype=np.int64)
+        connected = np.zeros((n, n_ports), dtype=bool)
+        for r in range(n):
+            for port, neighbor in self._neighbor[r].items():
+                index[r, int(port)] = neighbor
+                connected[r, int(port)] = True
+        return index, connected
+
     def connected_ports(self, router: int) -> Tuple[Port, ...]:
         """Non-local ports of ``router`` that have a neighbour."""
         return tuple(sorted(self._neighbor[router], key=int))

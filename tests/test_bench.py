@@ -9,6 +9,8 @@ holds, whose well-formedness is also asserted here.
 import json
 import os
 
+import pytest
+
 from repro.experiments import bench
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -52,7 +54,12 @@ class TestBenchDocument:
             "cycle",
             "sequential",
             "sequential-baseline",
+            "batch",
         }
+        batch = doc["engines"]["batch"]
+        assert batch["lanes"] == bench.BATCH_LANES
+        assert batch["per_lane_cps"] > 0
+        assert doc["speedup_batch_vs_sequential"] > 0
         assert str(out) in capsys.readouterr().out
 
     def test_committed_artifact_well_formed(self):
@@ -67,3 +74,41 @@ class TestBenchDocument:
         # pre-overhaul sequential speed by at least 3x on the
         # reference machine.
         assert doc["pre_pr"]["speedup"] >= 3.0
+
+    def test_committed_batch_row_floors(self):
+        """Regression guard on the recorded batch-engine speedup.
+
+        Skips when the artifact is absent (fresh checkouts regenerate it
+        with ``repro bench``); once committed, the batch row must hold
+        the acceptance floor: >= 3x the sequential engine's aggregate
+        rate at >= 8 lanes.
+        """
+        path = os.path.join(REPO_ROOT, "BENCH_table3.json")
+        if not os.path.exists(path):
+            pytest.skip("no committed BENCH_table3.json to validate")
+        with open(path) as stream:
+            doc = json.load(stream)
+        if "batch" not in doc["engines"]:
+            pytest.skip("committed benchmark predates the batch engine")
+        batch = doc["engines"]["batch"]
+        assert batch["lanes"] >= 8
+        assert batch["per_lane_cps"] > 0
+        assert batch["cps"] == pytest.approx(
+            batch["lanes"] * batch["cycles"] / batch["seconds"]
+        )
+        assert doc["speedup_batch_vs_sequential"] >= 3.0
+
+
+@pytest.mark.bench_smoke
+class TestBenchSmokeMarker:
+    """A deliberately tiny batched benchmark point: two lanes, fifty
+    cycles — cheap enough for every CI pass, selectable standalone with
+    ``pytest -m bench_smoke``."""
+
+    def test_tiny_batched_point(self):
+        point = bench.measure("batch", cycles=50, rounds=1, lanes=2)
+        assert point.name == "batch"
+        assert point.lanes == 2
+        assert point.cycles == 50
+        assert point.per_lane_cps > 0
+        assert point.cps == pytest.approx(2 * point.cycles / point.seconds)

@@ -44,6 +44,19 @@ class TestCli:
         ) == 0
         assert "cycle engine" in capsys.readouterr().out
 
+    def test_simulate_batch_lanes(self, capsys):
+        assert main(
+            ["simulate", "--engine", "batch", "--lanes", "3", "--width", "3",
+             "--height", "3", "--cycles", "80", "--load", "0.05"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "batch engine: 3 lanes" in out
+        assert "lane 2:" in out and "drained after" in out
+
+    def test_simulate_lanes_need_batch_engine(self, capsys):
+        assert main(["simulate", "--lanes", "2", "--cycles", "10"]) == 2
+        assert "--lanes requires --engine batch" in capsys.readouterr().err
+
     def test_trace(self, tmp_path, capsys):
         out_file = tmp_path / "trace.vcd"
         assert main(["trace", "--out", str(out_file), "--cycles", "20"]) == 0

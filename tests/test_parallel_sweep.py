@@ -124,3 +124,46 @@ class TestSweepDeterminism:
         parallel = run_sweep([1, 2], base=base, workers=2)
         assert [r.config.seed for r in serial] == [1, 2]
         assert serial == parallel
+
+
+class TestLaneBatching:
+    """Wide default sweeps run on the batch engine's lane axis; the
+    numbers must match the process path point for point."""
+
+    def test_threshold(self):
+        from repro.experiments.parallel import (
+            LANE_BATCH_THRESHOLD,
+            lane_batchable,
+        )
+
+        assert not lane_batchable(LANE_BATCH_THRESHOLD - 1)
+        assert lane_batchable(LANE_BATCH_THRESHOLD)
+        # an explicit worker count always keeps the process path
+        assert not lane_batchable(LANE_BATCH_THRESHOLD + 4, workers=1)
+        assert not lane_batchable(LANE_BATCH_THRESHOLD + 4, workers=4)
+
+    def test_fig1_lane_sweep_matches_process_sweep(self):
+        from dataclasses import asdict
+
+        loads = (0.0, 0.04, 0.08, 0.12)
+        process = fig1.run(loads, cycles=120, workers=1)
+        laned = fig1.run(loads, cycles=120)  # 4 points, workers=None
+        for p, l in zip(process.points, laned.points):
+            dp, dl = asdict(p), asdict(l)
+            # only the delta accounting differs: the batch engine runs
+            # exactly three bulk-synchronous sweeps per cycle.
+            dp.pop("extra_delta_fraction")
+            assert dl.pop("extra_delta_fraction") == 2.0
+            assert dp == dl
+
+    def test_patterns_lane_sweep_matches_process_sweep(self):
+        names = patterns.PATTERNS  # 4 patterns -> lane path by default
+        process = patterns.run(names, cycles=100, workers=1)
+        laned = patterns.run(names, cycles=100)
+        assert process.points == laned.points
+
+    def test_lane_sweep_profiled(self):
+        profiler = StageProfiler()
+        fig1.run((0.0, 0.04, 0.08, 0.12), cycles=60, profiler=profiler)
+        assert profiler.counters["lanes"] == 4
+        assert "sweep" in profiler.seconds

@@ -136,13 +136,13 @@ class TestThreeWayEquivalence:
 
 
 class TestEngineRegistry:
-    def test_three_engines_registered(self):
+    def test_four_engines_registered(self):
         names = {e.name for e in list_engines()}
-        assert names == {"rtl", "cycle", "sequential"}
+        assert names == {"rtl", "cycle", "sequential", "batch"}
 
     def test_make_engine(self):
         cfg = NetworkConfig(2, 2)
-        for name in ("rtl", "cycle", "sequential"):
+        for name in ("rtl", "cycle", "sequential", "batch"):
             engine = make_engine(name, cfg)
             engine.step()
             assert engine.cycle == 1
