@@ -96,6 +96,8 @@ def cmd_simulate(args) -> int:
     if args.engine == "batch":
         kwargs["lanes"] = lanes
     engine = make_engine(args.engine, net, **kwargs)
+    if getattr(args, "stream", False):
+        return _simulate_streamed(args, net, engine, lanes)
     if args.engine == "batch" and lanes > 1:
         return _simulate_batched(args, net, engine, lanes)
     be = BernoulliBeTraffic(net, args.load, uniform_random(net), seed=args.seed)
@@ -130,6 +132,46 @@ def cmd_simulate(args) -> int:
             f"({metrics.mean_deltas_per_cycle():.1f}/cycle, "
             f"extra fraction {metrics.extra_fraction():.3f})"
         )
+    return 0
+
+
+def _simulate_streamed(args, net, engine, lanes: int) -> int:
+    """``simulate --stream``: the five-phase pipeline of section 5.3,
+    with generate/load/retrieve/analyze overlapped against the
+    simulation through real cyclic buffers."""
+    from repro.pipeline import run_pipeline
+    from repro.traffic import BernoulliBeTraffic, uniform_random
+
+    n = lanes if args.engine == "batch" else 1
+    traffic = [
+        (
+            BernoulliBeTraffic(
+                net, args.load, uniform_random(net), seed=args.seed + i
+            ),
+            None,
+        )
+        for i in range(n)
+    ]
+    start = time.perf_counter()
+    report = run_pipeline(engine, traffic, args.cycles, chunk=args.chunk)
+    elapsed = time.perf_counter() - start
+    print(
+        f"{args.engine} engine (streamed): {n} lane(s) x {args.cycles} "
+        f"cycles (+drain) in {elapsed:.2f} s "
+        f"({n * engine.cycle / elapsed:,.0f} lane-cycles/s)"
+    )
+    for i in range(n):
+        stats = report.trackers[i].stats()
+        line = (
+            f"  lane {i}: {report.analyze.inj_counts[i]} flits injected, "
+            f"{report.analyze.ej_counts[i]} ejected, drained after "
+            f"{report.done_cycles[i]} extra cycles"
+        )
+        if stats:
+            line += f", mean latency {stats.mean:.1f}"
+        print(line)
+    print()
+    print(report.profiler.render())
     return 0
 
 
@@ -265,6 +307,11 @@ def cmd_faults(args) -> int:
 def cmd_bench(args) -> int:
     from repro.experiments import bench
 
+    if args.smoke:
+        doc = bench.run(smoke=True)
+        print(bench.render(doc))
+        print(f"\nsmoke run: {args.out} left untouched")
+        return 0
     cycles = max(1, int(300 * args.scale))
     doc = bench.run(cycles=cycles, rounds=args.rounds)
     print(bench.render(doc))
@@ -315,6 +362,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--scheduler", choices=["worklist", "roundrobin"], default=None,
         help="delta-cycle scheduler (sequential engine only)",
     )
+    p.add_argument(
+        "--stream", action="store_true",
+        help="run the five-phase streaming pipeline (generate/load/"
+        "simulate/retrieve/analyze over cyclic buffers)",
+    )
+    p.add_argument(
+        "--chunk", type=int, default=128,
+        help="cycles per pipeline chunk (--stream only)",
+    )
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("trace", help="dump a VCD waveform from the RTL engine")
@@ -362,6 +418,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--out", default="BENCH_table3.json")
     p.add_argument("--rounds", type=int, default=3, help="best-of-N rounds")
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="one short round of every measurement path; writes nothing",
+    )
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("experiments", help="regenerate tables/figures")

@@ -15,7 +15,7 @@ injection/ejection logs), so the equivalence checker and the benchmark
 harness treat them interchangeably.
 """
 
-from repro.engines.base import EngineInfo, list_engines, make_engine
+from repro.engines.base import EngineInfo, lane_views, list_engines, make_engine
 from repro.engines.batch import BatchEngine, BatchLane, drain_batched, run_batched
 from repro.engines.cycle import CycleEngine
 from repro.engines.rtl import RtlEngine
@@ -31,6 +31,7 @@ __all__ = [
     "RtlEngine",
     "SequentialEngine",
     "drain_batched",
+    "lane_views",
     "list_engines",
     "make_engine",
     "run_batched",

@@ -79,6 +79,21 @@ def _registry() -> Dict[str, EngineInfo]:
     }
 
 
+def lane_views(engine) -> List["Engine"]:
+    """Per-lane offer/log views of any engine.
+
+    A :class:`~repro.engines.batch.BatchEngine` exposes one view per
+    lane; every single-lane engine is its own (only) view.  This is how
+    lane-agnostic code — the streaming pipeline above all — drives the
+    whole registry through one surface.
+    """
+    lanes = getattr(engine, "lanes", None)
+    lane = getattr(engine, "lane", None)
+    if lanes is not None and callable(lane):
+        return [engine.lane(i) for i in range(lanes)]
+    return [engine]
+
+
 def list_engines() -> List[EngineInfo]:
     """All registered engines."""
     return list(_registry().values())

@@ -39,6 +39,13 @@ PRE_PR_SEQUENTIAL_CPS = 933.0
 #: per-sweep NumPy dispatch overhead across independent simulations.
 BATCH_LANES = 16
 
+#: the pipeline row's workload: the full Figure-1 BE-load axis, one
+#: lane per point, streamed through the five-phase pipeline.
+PIPELINE_LOADS = (0.0, 0.02, 0.04, 0.06, 0.08, 0.10, 0.12, 0.14)
+
+#: warm-up cycles per fig1 point (one GT period — the sweep default).
+PIPELINE_WARMUP = 1300
+
 
 @dataclass
 class BenchPoint:
@@ -56,6 +63,13 @@ class BenchPoint:
     #: rate each individual simulation advances at.
     lanes: Optional[int] = None
     per_lane_cps: Optional[float] = None
+    #: pipeline row only: measured busy seconds per paper phase, the
+    #: realised overlap efficiency, and the end-to-end speedup against
+    #: the strictly serial per-point sequential sweep it replaces.
+    phase_seconds: Optional[Dict[str, float]] = None
+    overlap_efficiency: Optional[float] = None
+    serial_sweep_seconds: Optional[float] = None
+    speedup_vs_serial: Optional[float] = None
 
 
 def _engine_factories():
@@ -122,10 +136,76 @@ def _run_once_batched(cycles: int, lanes: int = BATCH_LANES) -> float:
     return elapsed
 
 
+def _run_sweep_serial(cycles: int, warmup: int) -> float:
+    """Seconds for the strictly serial fig1 sweep: one point after the
+    other on the sequential engine, classic monolithic driver loop."""
+    from repro.engines import SequentialEngine
+    from repro.experiments.common import run_fig1_workload
+
+    start = time.perf_counter()
+    for load in PIPELINE_LOADS:
+        run_fig1_workload(
+            load, cycles, engine_cls=SequentialEngine, warmup=warmup
+        )
+    return time.perf_counter() - start
+
+
+def _run_sweep_streamed(cycles: int, warmup: int):
+    """Seconds (plus the pipeline profiler) for the identical sweep
+    streamed through the five-phase pipeline on one batch engine."""
+    from repro.pipeline import stream_fig1_sweep
+
+    profilers: list = []
+    start = time.perf_counter()
+    stream_fig1_sweep(
+        PIPELINE_LOADS, cycles, warmup=warmup, stream_profilers=profilers
+    )
+    return time.perf_counter() - start, profilers[0]
+
+
+def _measure_pipeline(
+    cycles: Optional[int], rounds: int, warmup: int = PIPELINE_WARMUP
+) -> BenchPoint:
+    """The ``pipeline`` row: the full fig1 sweep, streamed vs serial.
+
+    Both sides run the byte-identical workload (same loads, seed and
+    warm-up; the sweep-equivalence tests assert the points match), so
+    ``speedup_vs_serial`` is a pure end-to-end restructuring win.
+    """
+    cycles = max(20, cycles if cycles is not None else scale(300))
+    lanes = len(PIPELINE_LOADS)
+    _run_sweep_streamed(20, min(warmup, 60))  # warmup: imports, caches
+    seconds, prof = min(
+        (_run_sweep_streamed(cycles, warmup) for _ in range(max(1, rounds))),
+        key=lambda pair: pair[0],
+    )
+    serial = min(
+        _run_sweep_serial(cycles, warmup) for _ in range(max(1, rounds))
+    )
+    per_lane = warmup + cycles
+    return BenchPoint(
+        name="pipeline",
+        paper_analogue="five-phase streaming loop (section 5.3, figure 8)",
+        cycles=per_lane,
+        seconds=seconds,
+        cps=lanes * per_lane / seconds,
+        lanes=lanes,
+        per_lane_cps=round(per_lane / seconds, 1),
+        phase_seconds={
+            k: round(v, 4) for k, v in prof.phase_seconds().items()
+        },
+        overlap_efficiency=round(prof.overlap_efficiency(), 3),
+        serial_sweep_seconds=round(serial, 3),
+        speedup_vs_serial=round(serial / seconds, 2),
+    )
+
+
 def measure(
     name: str, cycles: Optional[int] = None, rounds: int = 3, lanes: int = BATCH_LANES
 ) -> BenchPoint:
     """Best-of-``rounds`` measurement of one engine (after one warmup)."""
+    if name == "pipeline":
+        return _measure_pipeline(cycles, rounds)
     factory, analogue, div = _engine_factories()[name]
     cycles = max(20, (cycles if cycles is not None else scale(300)) // div)
     if name == "batch":
@@ -164,13 +244,26 @@ def run(
         "sequential",
         "sequential-baseline",
         "batch",
+        "pipeline",
     ),
     rounds: int = 3,
     lanes: int = BATCH_LANES,
+    smoke: bool = False,
 ) -> Dict:
-    """Measure ``engines`` and assemble the BENCH_table3 document."""
+    """Measure ``engines`` and assemble the BENCH_table3 document.
+
+    ``smoke=True`` shrinks everything to a single short round (and a
+    short pipeline warm-up) — a seconds-scale health check of every
+    measurement path, not a number worth writing to the artifact.
+    """
+    if smoke:
+        cycles = 40 if cycles is None else min(cycles, 40)
+        rounds = 1
     points: List[BenchPoint] = [
-        measure(name, cycles, rounds, lanes) for name in engines
+        _measure_pipeline(cycles, rounds, warmup=60)
+        if smoke and name == "pipeline"
+        else measure(name, cycles, rounds, lanes)
+        for name in engines
     ]
     by_name = {p.name: p for p in points}
     doc: Dict = {
@@ -235,10 +328,42 @@ def render(doc: Dict) -> str:
             f"{doc['speedup_batch_vs_sequential']:.2f}x aggregate "
             f"({batch['per_lane_cps']:,.0f} cycles/s per lane)"
         )
+    pipe = doc["engines"].get("pipeline")
+    if pipe and pipe.get("speedup_vs_serial") is not None:
+        out += (
+            f"\npipeline ({pipe['lanes']}-lane fig1 sweep) vs serial "
+            f"per-point sweep: {pipe['speedup_vs_serial']:.2f}x end-to-end "
+            f"(overlap efficiency {pipe['overlap_efficiency']:.2f})"
+        )
     return out
 
 
+def _merge_prior(doc: Dict, path: str) -> Dict:
+    """Merge a prior BENCH_table3.json into ``doc`` before writing.
+
+    A partial rerun (say ``engines=("sequential",)``) must not wipe the
+    other engines' rows, and the ``pre_pr`` reference numbers survive
+    any rerun that does not re-derive them.  A missing, corrupt or
+    foreign prior file is ignored — the new document stands alone.
+    """
+    try:
+        with open(path) as stream:
+            prior = json.load(stream)
+    except (FileNotFoundError, OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return doc
+    if not isinstance(prior, dict) or prior.get("benchmark") != doc.get("benchmark"):
+        return doc
+    merged = dict(prior)
+    merged.update({k: v for k, v in doc.items() if k != "engines"})
+    engines = prior.get("engines")
+    engines = dict(engines) if isinstance(engines, dict) else {}
+    engines.update(doc.get("engines") or {})
+    merged["engines"] = engines
+    return merged
+
+
 def write(doc: Dict, path: str = "BENCH_table3.json") -> str:
+    doc = _merge_prior(doc, path)
     with open(path, "w") as stream:
         json.dump(doc, stream, indent=2, sort_keys=True)
         stream.write("\n")

@@ -25,7 +25,7 @@ from repro.experiments.common import (
     run_fig1_workloads_batched,
     scale,
 )
-from repro.experiments.parallel import lane_batchable, parallel_map
+from repro.experiments.parallel import lane_batchable, parallel_map, stream_enabled
 
 #: the paper's x-axis, thinned to keep the default run affordable.
 DEFAULT_LOADS = (0.0, 0.02, 0.04, 0.06, 0.08, 0.10, 0.12, 0.14)
@@ -83,6 +83,7 @@ def run(
     seed: int = 0x5EED,
     workers: Optional[int] = None,
     profiler=None,
+    stream: Optional[bool] = None,
 ) -> Fig1Result:
     """Sweep the BE load axis; points run across worker processes.
 
@@ -94,12 +95,23 @@ def run(
     instead run on the batch engine's lane axis — one vectorized
     process, one lane per load, same numbers per point (the batch
     engine is bit-identical to the sequential engine; only the
-    delta-accounting field differs).
+    delta-accounting field differs).  ``stream=True`` (or
+    ``REPRO_STREAM=1``) additionally drives those lanes through the
+    five-phase streaming pipeline — same points again, with the
+    generate/load/retrieve/analyze work overlapped against the
+    simulation instead of serialized around it.
     """
     from repro.engines import SequentialEngine
 
     cycles = cycles if cycles is not None else scale(4000)
     if engine_cls is None and lane_batchable(len(loads), workers):
+        if stream_enabled(stream):
+            from repro.pipeline import stream_fig1_sweep
+
+            swept = stream_fig1_sweep(
+                loads, cycles, seed=seed, profiler=profiler
+            )
+            return Fig1Result(swept.points)
         if profiler is not None:
             profiler.count("points", len(loads))
             profiler.count("lanes", len(loads))

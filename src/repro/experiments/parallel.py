@@ -50,6 +50,29 @@ def lane_batchable(n_points: int, workers: Optional[int] = None) -> bool:
     return workers is None and n_points >= LANE_BATCH_THRESHOLD
 
 
+#: environment opt-in for the streaming five-phase pipeline sweeps.
+STREAM_ENV = "REPRO_STREAM"
+
+
+def stream_enabled(stream: Optional[bool] = None) -> bool:
+    """Whether a sweep should run through the streaming pipeline.
+
+    An explicit ``stream=`` argument wins; with ``None`` the
+    ``REPRO_STREAM`` environment variable opts the whole process in
+    (the streamed sweeps produce the same points as the monolithic
+    ones — the equivalence tests assert it — so this is purely an
+    execution-strategy switch).
+    """
+    if stream is not None:
+        return stream
+    return os.environ.get(STREAM_ENV, "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
+
+
 def resolve_workers(workers: Optional[int] = None) -> int:
     """The worker count to use: argument > $REPRO_WORKERS > cpu_count."""
     if workers is None:

@@ -21,7 +21,7 @@ from functools import partial
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.common import render_table, scale
-from repro.experiments.parallel import lane_batchable, parallel_map
+from repro.experiments.parallel import lane_batchable, parallel_map, stream_enabled
 
 #: offered BE load shared by every pattern (fraction of capacity).
 LOAD = 0.10
@@ -198,9 +198,17 @@ def run(
     seed: int = 0x7A77,
     workers: Optional[int] = None,
     profiler=None,
+    stream: Optional[bool] = None,
 ) -> PatternsResult:
     cycles = cycles if cycles is not None else scale(1200)
     if lane_batchable(len(patterns), workers):
+        if stream_enabled(stream):
+            from repro.pipeline import stream_pattern_sweep
+
+            swept = stream_pattern_sweep(
+                patterns, cycles, load=load, seed=seed, profiler=profiler
+            )
+            return PatternsResult(swept.points)
         if profiler is not None:
             profiler.count("points", len(patterns))
             profiler.count("lanes", len(patterns))

@@ -37,7 +37,6 @@ from repro.faults.model import (
 )
 from repro.noc.config import NetworkConfig
 from repro.noc.routing import RoutingTable
-from repro.platform.controller import SimulationController
 from repro.seqsim.sequential import SequentialNetwork
 from repro.traffic.generators import BernoulliBeTraffic, uniform_random
 
@@ -148,6 +147,11 @@ class ResilienceReport:
 
 def run_campaign(config: CampaignConfig) -> ResilienceReport:
     """Run one seeded campaign; see the module docstring for semantics."""
+    # Imported lazily: repro.platform imports repro.faults.errors, so a
+    # module-level import here would make the package import order
+    # matter (importing repro.platform first used to raise ImportError).
+    from repro.platform.controller import SimulationController
+
     net_cfg = NetworkConfig(
         width=config.width, height=config.height, topology=config.topology
     )

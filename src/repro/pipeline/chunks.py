@@ -1,0 +1,104 @@
+"""The payloads that travel between pipeline stages.
+
+A *chunk* covers a contiguous cycle window ``[start, stop)`` for every
+lane at once; the stages transform it along the paper's five-step path::
+
+    StimulusChunk --load--> LoadedChunk --simulate--> ResultChunk
+                  --retrieve--> RetrievedChunk --analyze--> (stats)
+
+Chunks are plain data: producing them has no side effects on the
+engine, which is what lets the generate and load stages run arbitrarily
+far ahead of the simulation (bounded only by the connecting rings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.noc.packet import Packet
+
+
+class _End:
+    """Stream-termination sentinel (one instance: :data:`END`)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<pipeline END>"
+
+
+#: pushed through a ring after the last chunk; consumers stop on it.
+END = _End()
+
+#: per lane, per cycle offset: (packet, vc) pairs in exact submit order
+#: (GT stream packets first, then BE with the per-source VC toggle) —
+#: the order :meth:`repro.traffic.stimuli.TrafficDriver.generate` uses.
+SubmitPlan = List[List[List[Tuple[Packet, int]]]]
+
+
+@dataclass
+class StimulusChunk:
+    """Step 1 output: generated traffic for cycles ``[start, stop)``."""
+
+    start: int
+    stop: int
+    submits: SubmitPlan
+
+    @property
+    def cycles(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass
+class LoadedChunk:
+    """Step 2 output: the same traffic, segmented and flit-encoded.
+
+    ``entries[lane][cycle_offset]`` lists ``(router, vc, words)`` with
+    ``words`` the packet's encoded flit-word tuple, in submit order.
+    ``submits`` rides along untouched — the analyze stage needs the
+    original packets to note submit records.
+    """
+
+    start: int
+    stop: int
+    submits: SubmitPlan
+    entries: List[List[List[Tuple[int, int, Tuple[int, ...]]]]]
+    flits: int = 0
+
+    @property
+    def cycles(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass
+class ResultChunk:
+    """Step 3 output: which slice of each lane's logs this window wrote.
+
+    The simulate stage only records *bounds* into the engine's
+    append-only injection/ejection logs; copying the records out is the
+    retrieve stage's job (the ARM-reads-FPGA-memory step).  Entries
+    below a recorded bound are immutable, so the retrieve thread can
+    slice them while the simulation keeps appending.
+    """
+
+    start: int
+    stop: int
+    submits: SubmitPlan
+    inj_bounds: List[Tuple[int, int]]
+    ej_bounds: List[Tuple[int, int]]
+    #: set on the final chunk emitted after the drain phase
+    drained: bool = False
+    #: drain phase only: per-lane cycles the drain took
+    done_cycles: Optional[List[int]] = None
+
+
+@dataclass
+class RetrievedChunk:
+    """Step 4 output: the log records, copied out per lane."""
+
+    start: int
+    stop: int
+    submits: SubmitPlan
+    injections: List[list] = field(default_factory=list)
+    ejections: List[list] = field(default_factory=list)
+    drained: bool = False
+    done_cycles: Optional[List[int]] = None

@@ -1,0 +1,84 @@
+"""Stage-to-stage handoff rings.
+
+A :class:`StageRing` is a :class:`~repro.platform.cyclic_buffer.CyclicBuffer`
+of chunks plus the three things a thread pipeline needs on top of raw
+pointer arithmetic: end-of-stream (:data:`~repro.pipeline.chunks.END`
+travels through the ring like any chunk), abort (wakes and fails both
+sides after a peer dies), and a stall-diagnosing timeout — a wedged
+peer surfaces as the buffer's own pointer-state error instead of a
+deadlocked thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from repro.pipeline.chunks import END
+from repro.platform.cyclic_buffer import CyclicBuffer
+
+#: default seconds a stage waits on a stalled peer before raising.
+DEFAULT_TIMEOUT = 60.0
+
+
+class StageRing:
+    """Bounded chunk queue between two pipeline stages."""
+
+    def __init__(
+        self,
+        name: str,
+        capacity: int = 4,
+        timeout: Optional[float] = DEFAULT_TIMEOUT,
+    ) -> None:
+        self.name = name
+        self.buffer: CyclicBuffer = CyclicBuffer(capacity, name=name)
+        self.timeout = timeout
+        self._abort = threading.Event()
+        self.peak = 0
+
+    # -- data path ----------------------------------------------------------
+    def put(self, timestamp: int, item) -> None:
+        """Blocking producer side; raises the buffer's overrun error on
+        timeout or abort."""
+        self.buffer.put(
+            timestamp, item, timeout=self.timeout, abort=self._abort.is_set
+        )
+        count = self.buffer.count
+        if count > self.peak:
+            self.peak = count
+
+    def get(self):
+        """Blocking consumer side; returns the payload (chunks and
+        :data:`END` alike)."""
+        return self.buffer.get(
+            timeout=self.timeout, abort=self._abort.is_set
+        ).payload
+
+    def close(self, timestamp: int = -1) -> None:
+        """Terminate the stream: the consumer's next :meth:`get` past
+        the buffered chunks returns :data:`END`."""
+        self.put(timestamp, END)
+
+    # -- failure path -------------------------------------------------------
+    def abort(self) -> None:
+        """Fail every pending and future blocking access (idempotent)."""
+        self._abort.set()
+        self.buffer.kick()
+
+    @property
+    def aborted(self) -> bool:
+        return self._abort.is_set()
+
+    # -- instrumentation ----------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Counters for :class:`~repro.platform.profiler.PipelineProfiler`."""
+        buf = self.buffer
+        return {
+            "capacity": buf.capacity,
+            "peak": self.peak,
+            "chunks": buf.total_written,
+            "put_waits": buf.put_waits,
+            "get_waits": buf.get_waits,
+            "overruns": buf.overruns,
+            "underruns": buf.underruns,
+        }

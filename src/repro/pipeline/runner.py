@@ -1,0 +1,332 @@
+"""Pipeline execution: threaded stages over rings, or the serial
+fallback — byte-identical results either way.
+
+Thread placement mirrors Figure 8: generate, load, retrieve and analyze
+each get a worker thread (named ``repro-pipeline-<stage>``) and the
+simulation — the paper's FPGA — runs in the calling thread.  Four
+rings connect them::
+
+    generate --g2l--> load --l2s--> [simulate] --s2r--> retrieve --r2a--> analyze
+
+Every ring access blocks with a timeout, so the pipeline carries real
+backpressure (a slow simulate stalls generate once ``g2l``/``l2s``
+fill) and a dead peer surfaces as a pointer-state error, not a hang.
+A failing stage aborts every ring, wakes all threads, and the first
+exception is re-raised in the caller.
+
+The serial fallback (``threaded=False``) calls the same stage objects
+in a plain loop — no rings, no threads — and produces exactly the same
+engine state, logs, drain counts and statistics: the stages are
+deterministic and the rings only reorder *independent* work.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.noc.config import NetworkConfig
+from repro.pipeline.chunks import END
+from repro.pipeline.ring import StageRing
+from repro.pipeline.stages import (
+    AnalyzeStage,
+    GenerateStage,
+    LoadStage,
+    RetrieveStage,
+    SimulateStage,
+)
+from repro.platform.profiler import PipelineProfiler
+
+#: thread-name prefix; the test suite's leak check keys on it.
+THREAD_PREFIX = "repro-pipeline-"
+
+#: default cycles per chunk: big enough to amortise per-chunk overhead,
+#: small enough that four in-flight chunks stay far ahead of a stall.
+DEFAULT_CHUNK = 128
+
+
+@dataclass
+class PipelineReport:
+    """Everything a streamed run produced."""
+
+    cycles: int
+    done_cycles: List[int]
+    profiler: PipelineProfiler
+    analyze: AnalyzeStage
+    overloaded: bool = False
+    #: flits the load stage encoded (equals the serial driver's
+    #: ``flits_generated``)
+    flits_loaded: int = 0
+
+    @property
+    def trackers(self):
+        return self.analyze.trackers
+
+    @property
+    def histograms(self):
+        return self.analyze.histograms
+
+
+class _StageThread(threading.Thread):
+    """Worker thread running one stage loop; stores its exception and
+    aborts the rings so every peer (and the caller) unblocks at once."""
+
+    def __init__(self, name: str, target, rings) -> None:
+        super().__init__(name=THREAD_PREFIX + name, daemon=True)
+        self._target_fn = target
+        self._rings = rings
+        self.error: Optional[BaseException] = None
+
+    def run(self) -> None:  # pragma: no cover - exercised via the runner
+        try:
+            self._target_fn()
+        except BaseException as exc:  # noqa: BLE001 - propagated by caller
+            self.error = exc
+            for ring in self._rings:
+                ring.abort()
+
+
+def run_pipeline(
+    engine,
+    traffic: Sequence[Tuple],
+    cycles: int,
+    *,
+    chunk: int = DEFAULT_CHUNK,
+    threaded: bool = True,
+    stall_limit: int = 10_000,
+    ring_capacity: int = 4,
+    ring_timeout: Optional[float] = 60.0,
+    histogram_bin: int = 10,
+    drain_max_cycles: int = 100_000,
+    transport: str = "object",
+    profiler: Optional[PipelineProfiler] = None,
+) -> PipelineReport:
+    """Run ``cycles`` of traffic through the five-phase pipeline, then
+    drain.
+
+    ``traffic[i]`` is the ``(be, gt)`` generator pair of lane ``i`` —
+    one pair for single-lane engines, one per lane for a
+    :class:`~repro.engines.batch.BatchEngine`.
+
+    ``transport="shm"`` moves the bulk stimulus words of the
+    load->simulate handoff as packed int64 arrays through a
+    :class:`~repro.pipeline.shm.ShmArrayRing` (shared memory) instead
+    of the object ring; where shared memory is unavailable the run
+    silently stays on the object transport.
+    """
+    net: NetworkConfig = engine.cfg
+    generate = GenerateStage(net, traffic)
+    load = LoadStage(net)
+    simulate = SimulateStage(engine, stall_limit=stall_limit)
+    retrieve = RetrieveStage(engine)
+    analyze = AnalyzeStage(net, simulate.lanes, histogram_bin=histogram_bin)
+    if generate.lanes != simulate.lanes:
+        raise ValueError(
+            f"{generate.lanes} traffic lanes for an engine with "
+            f"{simulate.lanes} lanes"
+        )
+    prof = profiler if profiler is not None else PipelineProfiler()
+    prof.threaded = threaded
+
+    start_cycle = engine.cycle
+    windows = [
+        (lo, min(lo + chunk, start_cycle + cycles))
+        for lo in range(start_cycle, start_cycle + cycles, max(1, chunk))
+    ]
+
+    wall_start = time.perf_counter()
+    if threaded:
+        _run_threaded(
+            generate, load, simulate, retrieve, analyze, windows,
+            prof, ring_capacity, ring_timeout, drain_max_cycles, transport,
+        )
+    else:
+        _run_serial(
+            generate, load, simulate, retrieve, analyze, windows,
+            prof, drain_max_cycles,
+        )
+    prof.wall_seconds += time.perf_counter() - wall_start
+
+    done = analyze.done_cycles or [0] * simulate.lanes
+    return PipelineReport(
+        cycles=cycles,
+        done_cycles=done,
+        profiler=prof,
+        analyze=analyze,
+        overloaded=simulate.overloaded,
+        flits_loaded=load.flits,
+    )
+
+
+def _run_serial(
+    generate, load, simulate, retrieve, analyze, windows, prof, drain_max
+) -> None:
+    for lo, hi in windows:
+        with prof.busy("generate"):
+            stimulus = generate.produce(lo, hi)
+        prof.add_items("generate", 1)
+        with prof.busy("load"):
+            loaded = load.process(stimulus)
+        prof.add_items("load", 1)
+        with prof.busy("simulate"):
+            result = simulate.process(loaded)
+        prof.add_items("simulate", 1)
+        with prof.busy("retrieve"):
+            retrieved = retrieve.process(result)
+        prof.add_items("retrieve", 1)
+        with prof.busy("analyze"):
+            analyze.process(retrieved)
+        prof.add_items("analyze", 1)
+    with prof.busy("simulate"):
+        final = simulate.drain(max_cycles=drain_max)
+    with prof.busy("retrieve"):
+        retrieved = retrieve.process(final)
+    with prof.busy("analyze"):
+        analyze.process(retrieved)
+
+
+def _run_threaded(
+    generate, load, simulate, retrieve, analyze, windows,
+    prof, ring_capacity, ring_timeout, drain_max, transport="object",
+) -> None:
+    g2l = StageRing("g2l", ring_capacity, timeout=ring_timeout)
+    l2s = StageRing("l2s", ring_capacity, timeout=ring_timeout)
+    s2r = StageRing("s2r", ring_capacity, timeout=ring_timeout)
+    r2a = StageRing("r2a", ring_capacity, timeout=ring_timeout)
+    rings = (g2l, l2s, s2r, r2a)
+    shm_ring = None
+    if transport == "shm":
+        from repro.pipeline.shm import ShmArrayRing, ShmUnavailableError
+
+        try:
+            shm_ring = ShmArrayRing(
+                "l2s-shm", slots=ring_capacity, timeout=ring_timeout
+            )
+        except ShmUnavailableError:
+            shm_ring = None  # graceful fallback to the object ring
+
+    def generate_loop() -> None:
+        for lo, hi in windows:
+            with prof.busy("generate"):
+                stimulus = generate.produce(lo, hi)
+            prof.add_items("generate", 1)
+            with prof.wait("generate"):
+                g2l.put(lo, stimulus)
+        with prof.wait("generate"):
+            g2l.close()
+
+    def load_loop() -> None:
+        while True:
+            with prof.wait("load"):
+                item = g2l.get()
+            if item is END:
+                with prof.wait("load"):
+                    l2s.close()
+                return
+            with prof.busy("load"):
+                loaded = load.process(item)
+                if shm_ring is not None:
+                    from repro.pipeline.shm import pack_entries
+
+                    packed = pack_entries(loaded)
+                    if packed.size <= shm_ring.slot_words:
+                        with prof.wait("load"):
+                            shm_ring.put_array(loaded.start, packed)
+                        # The bulk words travel via shared memory; only
+                        # the metadata crosses the object ring.
+                        loaded.entries = None
+            prof.add_items("load", 1)
+            with prof.wait("load"):
+                l2s.put(item.start, loaded)
+
+    def retrieve_loop() -> None:
+        while True:
+            with prof.wait("retrieve"):
+                item = s2r.get()
+            if item is END:
+                with prof.wait("retrieve"):
+                    r2a.close()
+                return
+            with prof.busy("retrieve"):
+                retrieved = retrieve.process(item)
+            prof.add_items("retrieve", 1)
+            with prof.wait("retrieve"):
+                r2a.put(item.start, retrieved)
+
+    def analyze_loop() -> None:
+        while True:
+            with prof.wait("analyze"):
+                item = r2a.get()
+            if item is END:
+                return
+            with prof.busy("analyze"):
+                analyze.process(item)
+            prof.add_items("analyze", 1)
+
+    abortable = rings + ((shm_ring,) if shm_ring is not None else ())
+    threads = [
+        _StageThread("generate", generate_loop, abortable),
+        _StageThread("load", load_loop, abortable),
+        _StageThread("retrieve", retrieve_loop, abortable),
+        _StageThread("analyze", analyze_loop, abortable),
+    ]
+    for thread in threads:
+        thread.start()
+
+    caller_error: Optional[BaseException] = None
+    try:
+        # The simulation runs here, in the caller's thread.
+        while True:
+            with prof.wait("simulate"):
+                item = l2s.get()
+            if item is END:
+                break
+            if shm_ring is not None and item.entries is None:
+                from repro.pipeline.shm import unpack_entries
+
+                with prof.wait("simulate"):
+                    packed = shm_ring.get_array()
+                item.entries = unpack_entries(
+                    packed, item.start, item.stop, simulate.lanes
+                )
+            with prof.busy("simulate"):
+                result = simulate.process(item)
+            prof.add_items("simulate", 1)
+            with prof.wait("simulate"):
+                s2r.put(item.start, result)
+        with prof.busy("simulate"):
+            final = simulate.drain(max_cycles=drain_max)
+        with prof.wait("simulate"):
+            s2r.put(final.start, final)
+            s2r.close()
+    except BaseException as exc:  # noqa: BLE001 - re-raised below
+        caller_error = exc
+        for ring in abortable:
+            ring.abort()
+
+    for thread in threads:
+        thread.join()
+    for ring, name in zip(rings, ("g2l", "l2s", "s2r", "r2a")):
+        prof.rings[name] = ring.stats()
+    if shm_ring is not None:
+        prof.rings["l2s-shm"] = shm_ring.stats()
+        shm_ring.close()
+    errors = [t.error for t in threads if t.error is not None]
+    if caller_error is not None:
+        errors.append(caller_error)
+    if errors:
+        # Prefer the root cause: an abort wakes every blocked peer with
+        # a Buffer{Over,Under}runError, so a non-buffer error (overload,
+        # protocol violation, ...) anywhere in the pile is the one that
+        # started the collapse.
+        from repro.platform.cyclic_buffer import (
+            BufferOverrunError,
+            BufferUnderrunError,
+        )
+
+        for exc in errors:
+            if not isinstance(exc, (BufferOverrunError, BufferUnderrunError)):
+                raise exc
+        raise errors[0]

@@ -1,0 +1,208 @@
+"""Shared-memory transport for the pipeline's bulk arrays.
+
+The object rings of :mod:`repro.pipeline.ring` hand over Python lists;
+for the batch engine's wide lanes the stimulus words of one chunk are a
+single packed ``int64`` array, and this module moves those arrays
+through ``multiprocessing.shared_memory`` instead — zero-copy on the
+data plane, so a producer placed in another *process* (or just another
+thread) never pickles the bulk payload.
+
+* :func:`pack_entries` / :func:`unpack_entries` — a
+  :class:`~repro.pipeline.chunks.LoadedChunk`'s flit words as one
+  ``(n, 5)`` int64 array with columns ``lane, cycle, router, vc, word``
+  (round-trip exact; unpack preserves append order).
+* :class:`ShmArrayRing` — a bounded ring of fixed-size shared-memory
+  slots.  The control plane (slot hand-off, blocking, timeouts) runs on
+  the same :class:`~repro.platform.cyclic_buffer.CyclicBuffer`
+  semantics as every other ring; the data plane is the shared segment.
+  A child process can attach to the segment by name
+  (:meth:`ShmArrayRing.segment_name`).
+
+Creation degrades gracefully: where the platform forbids shared memory
+(sandboxes without ``/dev/shm``), the constructor raises
+:class:`ShmUnavailableError` and callers fall back to the object rings
+— the runner treats the transport as an optimisation, never a
+requirement.
+
+Every live ring registers itself in :data:`OPEN_RINGS`; the test
+suite's leak fixture asserts the set drains back to empty.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.pipeline.chunks import LoadedChunk
+from repro.platform.cyclic_buffer import CyclicBuffer
+
+#: live ShmArrayRing instances (weak): the leak-check fixture reads it.
+OPEN_RINGS: "weakref.WeakSet[ShmArrayRing]" = weakref.WeakSet()
+
+
+class ShmUnavailableError(RuntimeError):
+    """Shared memory cannot be created on this platform."""
+
+
+def pack_entries(chunk: LoadedChunk) -> np.ndarray:
+    """Flatten a loaded chunk's flit words into one packed int64 array.
+
+    One row per flit word, columns ``lane, cycle, router, vc, word``,
+    rows in exactly the order the simulate stage appends them.
+    """
+    rows: List[Tuple[int, int, int, int, int]] = []
+    for lane, lane_entries in enumerate(chunk.entries):
+        for off, per_cycle in enumerate(lane_entries):
+            cycle = chunk.start + off
+            for router, vc, words in per_cycle:
+                for word in words:
+                    rows.append((lane, cycle, router, vc, word))
+    if not rows:
+        return np.empty((0, 5), dtype=np.int64)
+    return np.asarray(rows, dtype=np.int64)
+
+
+def unpack_entries(
+    packed: np.ndarray, start: int, stop: int, lanes: int
+) -> List[List[List[Tuple[int, int, Tuple[int, ...]]]]]:
+    """Inverse of :func:`pack_entries` for the simulate stage.
+
+    Words that :func:`pack_entries` flattened from one packet come back
+    as single-word groups — the simulate stage only ever extends a
+    per-key deque with them, so the queue contents (and hence the
+    simulation) are unchanged.
+    """
+    entries: List[List[List[Tuple[int, int, Tuple[int, ...]]]]] = [
+        [[] for _ in range(stop - start)] for _ in range(lanes)
+    ]
+    for lane, cycle, router, vc, word in packed.tolist():
+        entries[lane][cycle - start].append((router, vc, (word,)))
+    return entries
+
+
+class ShmArrayRing:
+    """Bounded ring of shared-memory slots carrying int64 arrays.
+
+    ``slots`` arrays can be in flight at once; :meth:`put_array` blocks
+    (with the ring timeout semantics) when all slots are full, and
+    :meth:`get_array` copies the oldest array out before releasing its
+    slot — so a slot is never overwritten while a consumer still reads
+    it.  FIFO hand-off makes the producer's rotating slot index safe:
+    by the time slot ``k`` comes around again, its previous occupant is
+    the oldest entry and has been consumed.
+    """
+
+    def __init__(
+        self,
+        name: str = "shm-ring",
+        slots: int = 4,
+        slot_words: int = 1 << 16,
+        timeout: Optional[float] = 60.0,
+    ) -> None:
+        try:
+            from multiprocessing import shared_memory
+        except ImportError as exc:  # pragma: no cover - platform specific
+            raise ShmUnavailableError(f"{name}: no shared_memory module") from exc
+        self.name = name
+        self.slots = slots
+        self.slot_words = slot_words
+        self.timeout = timeout
+        self._itemsize = np.dtype(np.int64).itemsize
+        try:
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=slots * slot_words * self._itemsize
+            )
+        except (OSError, PermissionError, ValueError) as exc:
+            raise ShmUnavailableError(f"{name}: cannot create segment: {exc}") from exc
+        self._array = np.ndarray(
+            (slots, slot_words), dtype=np.int64, buffer=self._shm.buf
+        )
+        #: control ring: (slot, shape) per in-flight array.  Its
+        #: capacity equals the slot count, which is what bounds reuse.
+        self._ctrl: CyclicBuffer = CyclicBuffer(slots, name=f"{name}-ctrl")
+        self._free = threading.BoundedSemaphore(slots)
+        self._next_slot = 0
+        self._abort = threading.Event()
+        self.closed = False
+        OPEN_RINGS.add(self)
+
+    def segment_name(self) -> str:
+        """OS name of the shared segment (for attaching from a child
+        process via ``shared_memory.SharedMemory(name=...)``)."""
+        return self._shm.name
+
+    # -- data path ----------------------------------------------------------
+    def put_array(self, timestamp: int, array: np.ndarray) -> None:
+        flat = np.ascontiguousarray(array, dtype=np.int64).reshape(-1)
+        if flat.size > self.slot_words:
+            raise ValueError(
+                f"{self.name}: array of {flat.size} words exceeds the "
+                f"slot size {self.slot_words}"
+            )
+        if not self._free.acquire(
+            timeout=self.timeout if self.timeout is not None else None
+        ):
+            raise ShmUnavailableError(
+                f"{self.name}: no free slot within {self.timeout}s"
+            )
+        slot = self._next_slot
+        self._next_slot = (slot + 1) % self.slots
+        self._array[slot, : flat.size] = flat
+        self._ctrl.put(
+            timestamp,
+            (slot, array.shape),
+            timeout=self.timeout,
+            abort=self._abort.is_set,
+        )
+
+    def get_array(self) -> np.ndarray:
+        entry = self._ctrl.get(timeout=self.timeout, abort=self._abort.is_set)
+        slot, shape = entry.payload
+        n = int(np.prod(shape)) if shape else 1
+        out = self._array[slot, :n].copy().reshape(shape)
+        self._free.release()
+        return out
+
+    # -- lifecycle ----------------------------------------------------------
+    def abort(self) -> None:
+        self._abort.set()
+        self._ctrl.kick()
+
+    def stats(self) -> dict:
+        ctrl = self._ctrl
+        return {
+            "capacity": self.slots,
+            "arrays": ctrl.total_written,
+            "put_waits": ctrl.put_waits,
+            "get_waits": ctrl.get_waits,
+            "overruns": ctrl.overruns,
+            "underruns": ctrl.underruns,
+        }
+
+    def close(self) -> None:
+        """Release the shared segment (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        self._array = None
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover
+            pass
+        OPEN_RINGS.discard(self)
+
+    def __enter__(self) -> "ShmArrayRing":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - safety net
+        try:
+            self.close()
+        except Exception:
+            pass

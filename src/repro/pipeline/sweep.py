@@ -1,0 +1,105 @@
+"""Generic pipelined point sweep: produce -> run -> collate.
+
+Campaign-style sweeps (multi-seed fault campaigns, pattern batches on
+the process path) are lists of pure point functions.  This runner
+streams them through the same :class:`~repro.pipeline.ring.StageRing`
+machinery as the five-phase pipeline: a feeder thread pushes configs,
+the caller's thread runs the points, a collator thread drains results —
+with ring backpressure bounding how far the feeder runs ahead.  Results
+are returned in item order and equal ``[fn(x) for x in items]`` exactly
+(one worker, deterministic point functions).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, TypeVar
+
+from repro.pipeline.chunks import END
+from repro.pipeline.ring import StageRing
+from repro.pipeline.runner import _StageThread
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def pipelined_sweep(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    ring_capacity: int = 4,
+    ring_timeout: Optional[float] = 60.0,
+    profiler=None,
+) -> List[R]:
+    """``[fn(x) for x in items]`` with ring-buffered stage handoff.
+
+    ``profiler``, when given, is a
+    :class:`~repro.platform.profiler.PipelineProfiler`; busy time lands
+    under ``simulate`` (the point runs), feed/collate under their own
+    stage names, and both rings' counters under ``rings``.
+    """
+    items = list(items)
+    feed = StageRing("sweep-feed", ring_capacity, timeout=ring_timeout)
+    out = StageRing("sweep-out", ring_capacity, timeout=ring_timeout)
+    rings = (feed, out)
+    results: List[R] = [None] * len(items)  # type: ignore[list-item]
+
+    def feeder() -> None:
+        for i, item in enumerate(items):
+            feed.put(i, (i, item))
+        feed.close()
+
+    def collator() -> None:
+        while True:
+            got = out.get()
+            if got is END:
+                return
+            i, result = got
+            results[i] = result
+
+    threads = [
+        _StageThread("sweep-feed", feeder, rings),
+        _StageThread("sweep-collate", collator, rings),
+    ]
+    for thread in threads:
+        thread.start()
+
+    caller_error: Optional[BaseException] = None
+    try:
+        while True:
+            got = feed.get()
+            if got is END:
+                break
+            i, item = got
+            if profiler is not None:
+                with profiler.busy("simulate"):
+                    result = fn(item)
+                profiler.add_items("simulate", 1)
+            else:
+                result = fn(item)
+            out.put(i, (i, result))
+        out.close()
+    except BaseException as exc:  # noqa: BLE001 - re-raised below
+        caller_error = exc
+        for ring in rings:
+            ring.abort()
+
+    for thread in threads:
+        thread.join()
+    if profiler is not None:
+        profiler.rings["sweep-feed"] = feed.stats()
+        profiler.rings["sweep-out"] = out.stats()
+    errors = [t.error for t in threads if t.error is not None]
+    if caller_error is not None:
+        errors.append(caller_error)
+    if errors:
+        # Same root-cause preference as the five-phase runner: abort
+        # wakes peers with buffer errors; the original failure wins.
+        from repro.platform.cyclic_buffer import (
+            BufferOverrunError,
+            BufferUnderrunError,
+        )
+
+        for exc in errors:
+            if not isinstance(exc, (BufferOverrunError, BufferUnderrunError)):
+                raise exc
+        raise errors[0]
+    return results

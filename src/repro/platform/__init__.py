@@ -14,15 +14,21 @@ buffers (Fig. 8).  This package reproduces that control program:
 """
 
 from repro.platform.cyclic_buffer import BufferOverrunError, BufferUnderrunError, CyclicBuffer
-from repro.platform.controller import SimulationController, SimulationReport
-from repro.platform.profiler import PhaseProfiler, StageProfiler
+from repro.platform.controller import (
+    SimulationController,
+    SimulationReport,
+    crosscheck_overlap,
+)
+from repro.platform.profiler import PhaseProfiler, PipelineProfiler, StageProfiler
 
 __all__ = [
     "BufferOverrunError",
     "BufferUnderrunError",
     "CyclicBuffer",
     "PhaseProfiler",
+    "PipelineProfiler",
     "SimulationController",
     "SimulationReport",
     "StageProfiler",
+    "crosscheck_overlap",
 ]

@@ -20,6 +20,7 @@ to produce the Table 3 speed and Table 4 profile figures.
 from __future__ import annotations
 
 import copy
+import warnings
 from dataclasses import dataclass, field
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Set, Tuple
@@ -80,6 +81,14 @@ class SimulationReport:
     recovery_deltas: int = 0
     quarantined_links: Tuple[Tuple[int, int], ...] = field(default_factory=tuple)
     recovery_exhausted: bool = False
+    # -- pipeline-overlap accounting -------------------------------------
+    #: modelled ARM seconds actually hidden behind the FPGA periods
+    modeled_overlap_seconds: float = 0.0
+    #: hidden / offered: the overlap fraction the platform model claims
+    modeled_overlap_efficiency: float = 0.0
+    #: filled by :func:`crosscheck_overlap` from a measured pipeline run
+    measured_overlap_seconds: Optional[float] = None
+    overlap_divergence: Optional[float] = None
 
 
 class SimulationController:
@@ -146,6 +155,12 @@ class SimulationController:
         self._prev_retr_analyze_seconds = 0.0
         self._overlap_credit = 0.0
         self.OVERLAP_CREDIT_PERIODS = 3
+        #: modelled ARM seconds hidden behind the FPGA / offered for
+        #: hiding — the overlap the credit model claims, accumulated per
+        #: period so :func:`crosscheck_overlap` can hold it against a
+        #: measured pipeline run.
+        self.modeled_overlap_seconds = 0.0
+        self.modeled_overlappable_seconds = 0.0
         self.flits_generated = 0
         self.flits_loaded = 0
         self.flits_retrieved = 0
@@ -320,6 +335,10 @@ class SimulationController:
             "ejections_len": len(engine.ejections),
             "prev_retr_analyze": self._prev_retr_analyze_seconds,
             "overlap_credit": self._overlap_credit,
+            "overlap_totals": (
+                self.modeled_overlap_seconds,
+                self.modeled_overlappable_seconds,
+            ),
         }
 
     def _rollback(self) -> None:
@@ -356,6 +375,10 @@ class SimulationController:
         del self.retrieved[snap["retrieved_len"] :]
         self._prev_retr_analyze_seconds = snap["prev_retr_analyze"]
         self._overlap_credit = snap["overlap_credit"]
+        (
+            self.modeled_overlap_seconds,
+            self.modeled_overlappable_seconds,
+        ) = snap["overlap_totals"]
         self.overloaded = False
         self.rollbacks += 1
 
@@ -418,6 +441,8 @@ class SimulationController:
             "simulate",
             max(0.0, sim_raw - overlap) + arm.overhead_seconds(1),
         )
+        self.modeled_overlap_seconds += min(sim_raw, overlap)
+        self.modeled_overlappable_seconds += overlap
         self._overlap_credit = min(
             max(0.0, overlap - sim_raw),
             self.OVERLAP_CREDIT_PERIODS * max(overlap - self._overlap_credit, 0.0),
@@ -497,4 +522,44 @@ class SimulationController:
             recovery_deltas=self.recovery_deltas,
             quarantined_links=tuple(sorted(getattr(self.engine, "quarantined_links", ()))),
             recovery_exhausted=self.recovery_exhausted,
+            modeled_overlap_seconds=self.modeled_overlap_seconds,
+            modeled_overlap_efficiency=(
+                self.modeled_overlap_seconds / self.modeled_overlappable_seconds
+                if self.modeled_overlappable_seconds > 0
+                else 0.0
+            ),
         )
+
+
+def crosscheck_overlap(
+    report: SimulationReport, profiler, threshold: float = 0.20
+) -> float:
+    """Hold the controller's modelled overlap against a measured run.
+
+    ``profiler`` is the
+    :class:`~repro.platform.profiler.PipelineProfiler` of a streaming
+    pipeline run.  Both sides reduce to an overlap *efficiency* in
+    [0, 1] — the modelled hidden/offered fraction versus the pipeline's
+    realised fraction — so runs of different length and workload stay
+    comparable.  The measured seconds and the divergence are written
+    back onto ``report``; a divergence above ``threshold`` warns, since
+    it means the platform model's overlap credit no longer describes
+    what the streaming loop actually achieves (e.g. a single-CPU host
+    time-slicing stages the model assumes run concurrently).
+    """
+    measured_eff = profiler.overlap_efficiency()
+    report.measured_overlap_seconds = max(
+        0.0, profiler.serial_seconds - profiler.wall_seconds
+    )
+    divergence = abs(report.modeled_overlap_efficiency - measured_eff)
+    report.overlap_divergence = divergence
+    if divergence > threshold:
+        warnings.warn(
+            f"modeled overlap efficiency "
+            f"{report.modeled_overlap_efficiency:.2f} diverges from the "
+            f"measured pipeline overlap {measured_eff:.2f} by "
+            f"{divergence:.2f} (> {threshold:.2f})",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return divergence

@@ -19,8 +19,8 @@ from typing import Deque, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.noc.config import NetworkConfig, RouterConfig
-from repro.noc.flit import Flit, FlitType
-from repro.noc.packet import PacketClass, Reassembler, flits_per_packet
+from repro.noc.flit import FlitType
+from repro.noc.packet import Packet, PacketClass, ProtocolError, flits_per_packet
 from repro.noc.topology import Topology
 from repro.traffic.stimuli import SubmitRecord
 
@@ -86,11 +86,12 @@ class PacketLatencyTracker:
     def __init__(self, net: NetworkConfig) -> None:
         self.net = net
         self.topology = Topology(net)
-        self.sinks = [Reassembler(net) for _ in range(net.n_routers)]
         self.samples: List[LatencySample] = []
         self._pending: Dict[Tuple[int, int], Deque[SubmitRecord]] = {}
         self._head_eject: Dict[Tuple[int, int], int] = {}  # (router, vc) -> cycle
         self._head_inject: Dict[Tuple[int, int], Deque[int]] = {}
+        #: per (router, vc) open packet: raw data words, header word first
+        self._open: Dict[Tuple[int, int], List[int]] = {}
         self._ej_seen = 0
         self._inj_seen = 0
 
@@ -100,24 +101,78 @@ class PacketLatencyTracker:
 
     def collect(self, engine) -> None:
         """Process new injection/ejection records from the engine."""
-        data_width = self.net.router.data_width
         injections = engine.injections
-        for record in injections[self._inj_seen :]:
-            if (record.flit_word >> data_width) & 3 == FlitType.HEAD:
+        ejections = engine.ejections
+        self.collect_records(injections[self._inj_seen :], ejections[self._ej_seen :])
+        self._inj_seen = len(injections)
+        self._ej_seen = len(ejections)
+
+    def collect_records(self, injections, ejections) -> None:
+        """Process explicit record slices — the streaming analyze stage's
+        entry point (:meth:`collect` is the cursor-keeping wrapper over
+        the engine's full logs).
+
+        This is the analysis hot loop, so reassembly is done on the raw
+        integer words — type tag and fields by shift/mask, no
+        intermediate :class:`~repro.noc.flit.Flit` objects — with the
+        same wormhole-protocol checks (and the same
+        :class:`~repro.noc.packet.ProtocolError` messages) as
+        :class:`~repro.noc.packet.Reassembler`.
+        """
+        data_width = self.net.router.data_width
+        mask = (1 << data_width) - 1
+        head_t, tail_t = int(FlitType.HEAD), int(FlitType.TAIL)
+        for record in injections:
+            if (record.flit_word >> data_width) & 3 == head_t:
                 self._head_inject.setdefault(
                     (record.router, record.vc), deque()
                 ).append(record.cycle)
-        self._inj_seen = len(injections)
 
-        ejections = engine.ejections
-        for record in ejections[self._ej_seen :]:
-            flit = Flit.decode(record.flit_word, data_width)
-            if flit.ftype == FlitType.HEAD:
-                self._head_eject[(record.router, record.vc)] = record.cycle
-            packet = self.sinks[record.router].push(record.vc, flit, record.cycle)
-            if packet is not None:
-                self._finish(packet, record.router, record.vc, record.cycle)
-        self._ej_seen = len(ejections)
+        open_packets = self._open
+        bytes_per_flit = data_width // 8
+        for record in ejections:
+            word = record.flit_word
+            ftype = (word >> data_width) & 3
+            if ftype == 0:  # IDLE
+                continue
+            key = (record.router, record.vc)
+            if ftype == head_t:
+                if key in open_packets:
+                    raise ProtocolError(
+                        f"VC {record.vc}: HEAD while a packet is open"
+                    )
+                self._head_eject[key] = record.cycle
+                open_packets[key] = [word & mask]
+                continue
+            words = open_packets.get(key)
+            if words is None:
+                raise ProtocolError(
+                    f"VC {record.vc}: {FlitType(ftype).name} without a HEAD"
+                )
+            words.append(word & mask)
+            if ftype != tail_t:
+                continue
+            del open_packets[key]
+            if len(words) < 3:
+                raise ProtocolError("packet too short: no body flits before TAIL")
+            header, source = words[0], words[1]
+            packet = Packet(
+                src=self.net.index(source & 0xF, (source >> 4) & 0xF),
+                dest=self.net.index(header & 0xF, (header >> 4) & 0xF),
+                pclass=PacketClass.GT if (header >> 8) & 1 else PacketClass.BE,
+                payload=b"".join(
+                    w.to_bytes(bytes_per_flit, "little") for w in words[2:]
+                ),
+                tag=(header >> 9) & 0x7F,
+                seq=(source >> 8) & 0xFF,
+            )
+            self._finish(packet, record.router, record.vc, record.cycle)
+
+    @property
+    def open_vcs(self) -> List[Tuple[int, int]]:
+        """(router, VC) pairs with a partially ejected packet (for
+        end-of-run checks)."""
+        return sorted(self._open)
 
     def _finish(self, packet, router: int, vc: int, tail_cycle: int) -> None:
         key = (packet.src, packet.seq)
@@ -125,8 +180,16 @@ class PacketLatencyTracker:
         if not submits:
             raise RuntimeError(f"delivered packet with no submit record: {key}")
         submit = submits.popleft()
+        head_eject = self._head_eject[(router, vc)]
         inject_queue = self._head_inject.get((packet.src, submit.vc))
-        head_inject = inject_queue.popleft() if inject_queue else None
+        # A head cannot eject before it injected, so a front entry newer
+        # than the head ejection belongs to a *later* packet on this key
+        # (same-key packets can finish out of order across different
+        # sinks).  Leaving it queued keeps the attribution deterministic
+        # whether the logs are matched at end of run or chunk by chunk.
+        head_inject = None
+        if inject_queue and inject_queue[0] <= head_eject:
+            head_inject = inject_queue.popleft()
         self.samples.append(
             LatencySample(
                 pclass=packet.pclass,

@@ -26,6 +26,19 @@ class ThroughputStats:
             n_routers=engine.cfg.n_routers,
         )
 
+    @staticmethod
+    def from_counts(
+        cycles: int, flits_injected: int, flits_ejected: int, n_routers: int
+    ) -> "ThroughputStats":
+        """Build from incrementally accumulated counts (the streaming
+        analyze stage never holds the full logs)."""
+        return ThroughputStats(
+            cycles=cycles,
+            flits_injected=flits_injected,
+            flits_ejected=flits_ejected,
+            n_routers=n_routers,
+        )
+
     @property
     def accepted_load(self) -> float:
         """Injected flits per cycle per node (fraction of capacity)."""

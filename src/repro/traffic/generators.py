@@ -10,7 +10,7 @@ every 70 cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.noc.config import NetworkConfig
 from repro.noc.packet import (
@@ -166,6 +166,66 @@ class BernoulliBeTraffic:
         rng.words_read += reads
         return out
 
+    def packets_for_cycles(self, start: int, stop: int) -> List[List[Packet]]:
+        """Chunked streaming form of :meth:`packets_for_cycle`.
+
+        Returns one packet list per cycle in ``[start, stop)``, produced
+        by a single pass that keeps the LFSR state in locals across the
+        whole chunk — the generator state afterwards, and every packet,
+        is bit-identical to ``stop - start`` per-cycle calls.  This is
+        the generate stage's API: one chunk of stimuli per call, cheap
+        enough that generation streams ahead of the simulation.
+        """
+        per_cycle: List[List[Packet]] = []
+        prob = self.packet_probability
+        if prob <= 0:
+            return [[] for _ in range(stop - start)]
+        threshold = int(prob * 2**32)
+        rng = self.rng
+        j0, j1, j2, j3 = _JUMP
+        state = rng.state
+        reads = 0
+        n_routers = self.net.n_routers
+        seq_table = self._seq
+        payload_bytes = self.payload_bytes
+        pattern = self.pattern
+        for _cycle in range(start, stop):
+            out: List[Packet] = []
+            for src in range(n_routers):
+                state = (
+                    j0[state & 0xFF]
+                    ^ j1[(state >> 8) & 0xFF]
+                    ^ j2[(state >> 16) & 0xFF]
+                    ^ j3[state >> 24]
+                )
+                reads += 1
+                if state < threshold:
+                    # Sync the generator before the pattern consumes it
+                    # (identical to the per-cycle loop).
+                    rng.state = state
+                    rng.words_read += reads
+                    reads = 0
+                    seq = seq_table[src]
+                    seq_table[src] = (seq + 1) & 0xFF
+                    payload = bytes(
+                        (src + seq + i) % 256 for i in range(payload_bytes)
+                    )
+                    out.append(
+                        Packet(
+                            src=src,
+                            dest=pattern(src, rng),
+                            pclass=PacketClass.BE,
+                            payload=payload,
+                            tag=seq % 128,
+                            seq=seq,
+                        )
+                    )
+                    state = rng.state
+            per_cycle.append(out)
+        rng.state = state
+        rng.words_read += reads
+        return per_cycle
+
 
 @dataclass
 class GtStreamTraffic:
@@ -213,6 +273,42 @@ class GtStreamTraffic:
                     )
                 )
         return out
+
+    def packets_for_cycles(
+        self, start: int, stop: int
+    ) -> List[List[Tuple[Packet, int]]]:
+        """Chunked streaming form of :meth:`packets_for_cycle`: one
+        ``(packet, reserved VC)`` list per cycle in ``[start, stop)``,
+        bit-identical to the per-cycle calls.  Streams are pre-bucketed
+        by emission phase so idle cycles cost one dict probe."""
+        by_phase: Dict[int, List[int]] = {}
+        for i, phase in enumerate(self._phase):
+            by_phase.setdefault(phase, []).append(i)
+        per_cycle: List[List[Tuple[Packet, int]]] = []
+        period = self.period
+        payload_bytes = self.payload_bytes
+        for cycle in range(start, stop):
+            out: List[Tuple[Packet, int]] = []
+            for i in by_phase.get(cycle % period, ()):
+                stream = self.streams[i]
+                seq = self._seq[i]
+                self._seq[i] = (seq + 1) & 0xFF
+                payload = bytes((seq + j) % 256 for j in range(payload_bytes))
+                out.append(
+                    (
+                        Packet(
+                            src=stream.src,
+                            dest=stream.dest,
+                            pclass=PacketClass.GT,
+                            payload=payload,
+                            tag=i % 128,
+                            seq=seq,
+                        ),
+                        stream.vc,
+                    )
+                )
+            per_cycle.append(out)
+        return per_cycle
 
 
 def reserve_shift_streams(

@@ -16,7 +16,8 @@ from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.noc.config import NetworkConfig
-from repro.noc.packet import Packet, segment
+from repro.noc.flit import FlitType, Header, SourceInfo
+from repro.noc.packet import Packet, PacketClass, segment
 from repro.traffic.generators import BernoulliBeTraffic, GtStreamTraffic
 
 
@@ -61,6 +62,61 @@ class StimuliTable:
 
     def __len__(self) -> int:
         return len(self.entries)
+
+
+class FlitEncoder:
+    """Caching ``segment`` + ``encode``: packet -> encoded flit words.
+
+    Segmentation dominates the generate/load cost of long runs, yet its
+    inputs recur heavily: a packet's head word depends only on
+    ``(dest, class, tag)``, its source-info word on ``(src, seq)``, and
+    its payload words only on the payload bytes — which the generators
+    derive from ``(src, seq)`` mod 256, so every cache is bounded by the
+    traffic alphabet, not the run length.  The output is bit-identical
+    to ``[f.encode(dw) for f in segment(packet, net)]`` (the slow path
+    constructs the words through the very same ``Header``/``SourceInfo``
+    encoders on a miss).
+    """
+
+    def __init__(self, net: NetworkConfig) -> None:
+        self.net = net
+        self.data_width = net.router.data_width
+        self._bytes_per_flit = self.data_width // 8
+        if self._bytes_per_flit < 1:
+            raise ValueError("data path narrower than a byte cannot carry payloads")
+        self._head: Dict[Tuple[int, bool, int], int] = {}
+        self._source: Dict[Tuple[int, int], int] = {}
+        self._payload: Dict[bytes, Tuple[int, ...]] = {}
+
+    def words(self, packet: Packet) -> Tuple[int, ...]:
+        """Encoded flit words of ``packet``, head first."""
+        dw = self.data_width
+        gt = packet.pclass is PacketClass.GT
+        hkey = (packet.dest, gt, packet.tag)
+        head = self._head.get(hkey)
+        if head is None:
+            dx, dy = self.net.coords(packet.dest)
+            head = Header(dx, dy, gt=gt, tag=packet.tag).head_flit().encode(dw)
+            self._head[hkey] = head
+        skey = (packet.src, packet.seq & 0xFF)
+        source = self._source.get(skey)
+        if source is None:
+            sx, sy = self.net.coords(packet.src)
+            source = (int(FlitType.BODY) << dw) | SourceInfo(sx, sy, skey[1]).encode()
+            self._source[skey] = source
+        tail = self._payload.get(packet.payload)
+        if tail is None:
+            bpf = self._bytes_per_flit
+            payload = packet.payload
+            chunks = [payload[i : i + bpf] for i in range(0, len(payload), bpf)]
+            body, tail_t = int(FlitType.BODY) << dw, int(FlitType.TAIL) << dw
+            last = len(chunks) - 1
+            tail = tuple(
+                (tail_t if i == last else body) | int.from_bytes(chunk, "little")
+                for i, chunk in enumerate(chunks)
+            )
+            self._payload[packet.payload] = tail
+        return (head, source) + tail
 
 
 @dataclass

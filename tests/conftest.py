@@ -11,6 +11,8 @@ of stalling CI.
 from __future__ import annotations
 
 import signal
+import sys
+import threading
 
 import pytest
 
@@ -27,6 +29,25 @@ except ImportError:
     _HAVE_PLUGIN = False
 
 _HAVE_SIGALRM = hasattr(signal, "SIGALRM")
+
+
+@pytest.fixture(autouse=True)
+def _no_pipeline_leaks():
+    """Every test must leave the streaming pipeline torn down: no
+    ``repro-pipeline-*`` worker threads still alive and no shared-memory
+    rings still registered.  Lazy lookups keep this free for the tests
+    that never touch the pipeline."""
+    yield
+    leaked = [
+        t.name
+        for t in threading.enumerate()
+        if t.name.startswith("repro-pipeline-") and t.is_alive()
+    ]
+    assert not leaked, f"leaked pipeline threads: {leaked}"
+    shm = sys.modules.get("repro.pipeline.shm")
+    if shm is not None:
+        rings = [r.name for r in shm.OPEN_RINGS]
+        assert not rings, f"leaked shared-memory rings: {rings}"
 
 
 def pytest_collection_modifyitems(config, items):

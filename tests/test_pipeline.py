@@ -1,0 +1,543 @@
+"""Tests for the streaming five-phase pipeline (:mod:`repro.pipeline`).
+
+The load-bearing property is *equivalence*: streaming the five phases
+through rings — threaded or not, object or shared-memory transport,
+any chunk size — must produce byte-identical engine state, logs, drain
+counts and statistics to the monolithic
+:class:`~repro.traffic.stimuli.TrafficDriver` loop it restructures.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+import warnings
+
+import pytest
+
+from repro.engines import (
+    BatchEngine,
+    CycleEngine,
+    SequentialEngine,
+    drain_batched,
+    run_batched,
+)
+from repro.experiments.common import fig1_gt_streams
+from repro.noc import NetworkConfig, RouterConfig
+from repro.noc.packet import segment
+from repro.pipeline import (
+    END,
+    GenerateStage,
+    LoadStage,
+    SimulateStage,
+    StageRing,
+    pipelined_sweep,
+    run_pipeline,
+)
+from repro.platform.cyclic_buffer import BufferOverrunError, BufferUnderrunError
+from repro.stats import PacketLatencyTracker
+from repro.traffic import (
+    BernoulliBeTraffic,
+    GtStreamTraffic,
+    TrafficDriver,
+    uniform_random,
+)
+from repro.traffic.stimuli import FlitEncoder, NetworkOverloadError
+
+
+def small_net(queue_depth: int = 4) -> NetworkConfig:
+    return NetworkConfig(
+        4, 4, topology="torus", router=RouterConfig(queue_depth=queue_depth)
+    )
+
+
+def make_traffic(net, load=0.08, seed=0xA5, with_gt=False):
+    be = BernoulliBeTraffic(net, load, uniform_random(net), seed=seed)
+    gt = None
+    if with_gt:
+        table = fig1_gt_streams(net)
+        gt = GtStreamTraffic(net, table.streams, period=200)
+    return be, gt
+
+
+def classic_run(engine, be, gt, cycles):
+    """The monolithic reference loop: TrafficDriver run + drain."""
+    driver = TrafficDriver(engine, be=be, gt=gt)
+    tracker = PacketLatencyTracker(engine.cfg)
+    driver.attach_tracker(tracker)
+    driver.run(cycles)
+    driver.be = None
+    driver.gt = None
+    done = driver.drain()
+    tracker.collect(engine)
+    return driver, tracker, done
+
+
+def assert_engines_equal(a, b):
+    assert a.cycle == b.cycle
+    assert a.snapshot() == b.snapshot()
+    assert list(a.injections) == list(b.injections)
+    assert list(a.ejections) == list(b.ejections)
+
+
+class TestStageRing:
+    def test_fifo_and_close(self):
+        ring = StageRing("t", capacity=4, timeout=1.0)
+        ring.put(0, "a")
+        ring.put(1, "b")
+        ring.close()
+        assert ring.get() == "a"
+        assert ring.get() == "b"
+        assert ring.get() is END
+
+    def test_get_timeout_counts_underrun(self):
+        ring = StageRing("t", capacity=2, timeout=0.05)
+        with pytest.raises(BufferUnderrunError):
+            ring.get()
+        assert ring.stats()["underruns"] == 1
+        assert ring.stats()["get_waits"] == 1
+
+    def test_put_timeout_counts_overrun(self):
+        ring = StageRing("t", capacity=1, timeout=0.05)
+        ring.put(0, "a")
+        with pytest.raises(BufferOverrunError):
+            ring.put(1, "b")
+        assert ring.stats()["overruns"] == 1
+        assert ring.stats()["put_waits"] == 1
+
+    def test_abort_wakes_blocked_consumer(self):
+        ring = StageRing("t", capacity=2, timeout=10.0)
+        errors = []
+
+        def consumer():
+            try:
+                ring.get()
+            except BufferUnderrunError as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        time.sleep(0.05)
+        ring.abort()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert len(errors) == 1 and "abort" in str(errors[0])
+
+    def test_peak_occupancy_tracked(self):
+        ring = StageRing("t", capacity=4, timeout=1.0)
+        for i in range(3):
+            ring.put(i, i)
+        assert ring.stats()["peak"] == 3
+        assert ring.stats()["chunks"] == 3
+
+
+class TestChunkedGenerators:
+    def test_bernoulli_chunks_match_per_cycle(self):
+        net = small_net()
+        be_chunked, _ = make_traffic(net, load=0.12, seed=3)
+        be_serial = copy.deepcopy(be_chunked)
+        serial = [be_serial.packets_for_cycle(c) for c in range(500)]
+        chunked = []
+        lo = 0
+        while lo < 500:  # deliberately odd chunk boundary
+            hi = min(lo + 37, 500)
+            chunked.extend(be_chunked.packets_for_cycles(lo, hi))
+            lo = hi
+        assert chunked == serial
+        # the internal state advanced identically: the next packets agree
+        assert be_chunked.packets_for_cycles(500, 510) == [
+            be_serial.packets_for_cycle(c) for c in range(500, 510)
+        ]
+
+    def test_gt_chunks_match_per_cycle(self):
+        net = small_net()
+        _, gt_chunked = make_traffic(net, with_gt=True)
+        gt_serial = copy.deepcopy(gt_chunked)
+        serial = [gt_serial.packets_for_cycle(c) for c in range(450)]
+        chunked = []
+        lo = 0
+        while lo < 450:
+            hi = min(lo + 41, 450)
+            chunked.extend(gt_chunked.packets_for_cycles(lo, hi))
+            lo = hi
+        assert chunked == serial
+
+
+class TestFlitEncoder:
+    def test_words_match_segment_encode(self):
+        net = small_net()
+        be, gt = make_traffic(net, load=0.15, seed=11, with_gt=True)
+        encoder = FlitEncoder(net)
+        dw = net.router.data_width
+        packets = []
+        for cycle in range(200):
+            packets.extend(p for p, _vc in gt.packets_for_cycle(cycle))
+            packets.extend(be.packets_for_cycle(cycle))
+        assert packets
+        for packet in packets:
+            expected = tuple(f.encode(dw) for f in segment(packet, net))
+            assert encoder.words(packet) == expected
+            # cache-hit path returns the same words again
+            assert encoder.words(packet) == expected
+
+
+class TestPipelineEquivalence:
+    @pytest.mark.parametrize("engine_cls", [SequentialEngine, CycleEngine])
+    def test_streamed_matches_classic_driver(self, engine_cls):
+        net = small_net()
+        cycles = 400
+        be, gt = make_traffic(net, with_gt=True)
+        classic_engine = engine_cls(net)
+        driver, classic_tracker, done = classic_run(
+            classic_engine, copy.deepcopy(be), copy.deepcopy(gt), cycles
+        )
+
+        streamed_engine = engine_cls(net)
+        report = run_pipeline(streamed_engine, [(be, gt)], cycles, chunk=64)
+        assert_engines_equal(streamed_engine, classic_engine)
+        assert report.done_cycles == [done]
+        assert report.flits_loaded == driver.flits_generated
+        assert report.trackers[0].samples == classic_tracker.samples
+        assert report.trackers[0].stats() == classic_tracker.stats()
+
+    def test_batch_lanes_match_classic_batched(self):
+        net = small_net()
+        cycles, lanes = 300, 4
+        seeds = [0xA5 + i for i in range(lanes)]
+        classic_engine = BatchEngine(net, lanes=lanes)
+        drivers = [
+            TrafficDriver(
+                classic_engine.lane(i),
+                be=BernoulliBeTraffic(
+                    net, 0.08, uniform_random(net), seed=seeds[i]
+                ),
+            )
+            for i in range(lanes)
+        ]
+        trackers = [PacketLatencyTracker(net) for _ in range(lanes)]
+        for driver, tracker in zip(drivers, trackers):
+            driver.attach_tracker(tracker)
+        run_batched(classic_engine, drivers, cycles)
+        for driver in drivers:
+            driver.be = None
+        done = drain_batched(classic_engine, drivers)
+        for i, tracker in enumerate(trackers):
+            tracker.collect(classic_engine.lane(i))
+
+        streamed_engine = BatchEngine(net, lanes=lanes)
+        traffic = [
+            (BernoulliBeTraffic(net, 0.08, uniform_random(net), seed=s), None)
+            for s in seeds
+        ]
+        report = run_pipeline(streamed_engine, traffic, cycles, chunk=64)
+        assert streamed_engine.snapshot() == classic_engine.snapshot()
+        assert report.done_cycles == list(done)
+        for i in range(lanes):
+            assert list(streamed_engine.lane_injections(i)) == list(
+                classic_engine.lane_injections(i)
+            )
+            assert list(streamed_engine.lane_ejections(i)) == list(
+                classic_engine.lane_ejections(i)
+            )
+            assert report.trackers[i].samples == trackers[i].samples
+
+    def test_serial_fallback_identical_to_threaded(self):
+        net = small_net()
+        cycles = 300
+        be, gt = make_traffic(net, with_gt=True)
+        threaded_engine = SequentialEngine(net)
+        threaded = run_pipeline(
+            threaded_engine, [(copy.deepcopy(be), copy.deepcopy(gt))], cycles
+        )
+        serial_engine = SequentialEngine(net)
+        serial = run_pipeline(
+            serial_engine, [(be, gt)], cycles, threaded=False
+        )
+        assert_engines_equal(threaded_engine, serial_engine)
+        assert threaded.done_cycles == serial.done_cycles
+        assert threaded.flits_loaded == serial.flits_loaded
+        assert threaded.trackers[0].samples == serial.trackers[0].samples
+        assert threaded.profiler.threaded and not serial.profiler.threaded
+
+    @pytest.mark.parametrize("chunk", [32, 128, 1000])
+    def test_chunk_size_invariance(self, chunk):
+        net = small_net()
+        cycles = 200
+        be, _ = make_traffic(net)
+        reference_engine = SequentialEngine(net)
+        _, ref_tracker, _ = classic_run(
+            reference_engine, copy.deepcopy(be), None, cycles
+        )
+        engine = SequentialEngine(net)
+        report = run_pipeline(engine, [(be, None)], cycles, chunk=chunk)
+        assert_engines_equal(engine, reference_engine)
+        assert report.trackers[0].samples == ref_tracker.samples
+
+    def test_shm_transport_identical(self):
+        from repro.pipeline.shm import ShmArrayRing, ShmUnavailableError
+
+        try:
+            ShmArrayRing("probe", slots=1, slot_words=8).close()
+        except ShmUnavailableError:
+            pytest.skip("shared memory unavailable on this platform")
+        net = small_net()
+        cycles, lanes = 250, 3
+        traffic_a = [
+            (BernoulliBeTraffic(net, 0.08, uniform_random(net), seed=5 + i), None)
+            for i in range(lanes)
+        ]
+        traffic_b = copy.deepcopy(traffic_a)
+        obj_engine = BatchEngine(net, lanes=lanes)
+        obj = run_pipeline(obj_engine, traffic_a, cycles, chunk=50)
+        shm_engine = BatchEngine(net, lanes=lanes)
+        shm = run_pipeline(
+            shm_engine, traffic_b, cycles, chunk=50, transport="shm"
+        )
+        assert shm_engine.snapshot() == obj_engine.snapshot()
+        assert shm.done_cycles == obj.done_cycles
+        for i in range(lanes):
+            assert shm.trackers[i].samples == obj.trackers[i].samples
+        # the bulk words actually travelled through shared memory
+        assert shm.profiler.rings.get("l2s-shm", {}).get("arrays", 0) > 0
+
+    def test_incremental_stats_match_end_of_run(self):
+        net = small_net()
+        be, gt = make_traffic(net, with_gt=True)
+        engine = SequentialEngine(net)
+        report = run_pipeline(engine, [(be, gt)], 300, chunk=64)
+        # analyze-stage counters equal the full logs they never held
+        assert report.analyze.inj_counts[0] == len(engine.injections)
+        assert report.analyze.ej_counts[0] == len(engine.ejections)
+        hist = report.histograms[0]
+        samples = report.trackers[0].samples
+        assert hist.total == len(samples)
+        throughput = report.analyze.throughput(0, engine.cycle)
+        assert throughput.flits_injected == len(engine.injections)
+        assert throughput.flits_ejected == len(engine.ejections)
+
+
+class TestPipelineErrors:
+    def test_overload_root_cause_survives_abort(self):
+        net = small_net(queue_depth=1)
+        be = BernoulliBeTraffic(net, 0.95, uniform_random(net), seed=1)
+        engine = SequentialEngine(net)
+        with pytest.raises(NetworkOverloadError):
+            run_pipeline(
+                engine,
+                [(be, None)],
+                2000,
+                chunk=64,
+                stall_limit=50,
+                ring_timeout=10.0,
+            )
+
+    def test_simulate_stage_out_of_sync(self):
+        net = small_net()
+        be, _ = make_traffic(net)
+        generate = GenerateStage(net, [(be, None)])
+        load = LoadStage(net)
+        simulate = SimulateStage(SequentialEngine(net))
+        chunk = load.process(generate.produce(5, 10))
+        with pytest.raises(RuntimeError, match="out of sync"):
+            simulate.process(chunk)
+
+    def test_traffic_lane_mismatch(self):
+        net = small_net()
+        be, _ = make_traffic(net)
+        engine = BatchEngine(net, lanes=3)
+        with pytest.raises(ValueError, match="lanes"):
+            run_pipeline(engine, [(be, None)], 50)
+
+
+class TestPipelinedSweep:
+    def test_results_in_item_order(self):
+        items = list(range(12))
+        assert pipelined_sweep(lambda x: x * x, items) == [
+            x * x for x in items
+        ]
+
+    def test_fault_campaign_sweep_matches_serial(self):
+        from repro.faults import CampaignConfig, run_campaign
+
+        configs = [
+            CampaignConfig(
+                width=4,
+                height=4,
+                n_faults=6,
+                seed=seed,
+                load=0.10,
+                include_flap=True,  # exercises the watchdog/quarantine path
+            )
+            for seed in (1, 2)
+        ]
+        streamed = pipelined_sweep(run_campaign, configs)
+        serial = [run_campaign(cfg) for cfg in configs]
+        assert streamed == serial
+
+    def test_point_error_propagates(self):
+        def bad(x):
+            if x == 2:
+                raise ValueError("boom at 2")
+            return x
+
+        with pytest.raises(ValueError, match="boom at 2"):
+            pipelined_sweep(bad, range(6), ring_timeout=5.0)
+
+
+class TestShmTransport:
+    def _ring(self, **kwargs):
+        from repro.pipeline.shm import ShmArrayRing, ShmUnavailableError
+
+        try:
+            return ShmArrayRing("test-ring", **kwargs)
+        except ShmUnavailableError:
+            pytest.skip("shared memory unavailable on this platform")
+
+    def test_pack_unpack_roundtrip(self):
+        from repro.pipeline.shm import pack_entries, unpack_entries
+
+        net = small_net()
+        be, gt = make_traffic(net, load=0.2, with_gt=True)
+        generate = GenerateStage(net, [(be, gt), (copy.deepcopy(be), None)])
+        load = LoadStage(net)
+        chunk = load.process(generate.produce(0, 40))
+        packed = pack_entries(chunk)
+        rebuilt = unpack_entries(packed, chunk.start, chunk.stop, 2)
+
+        def flat_words(entries):
+            return [
+                (lane, off, router, vc, word)
+                for lane, lane_entries in enumerate(entries)
+                for off, per_cycle in enumerate(lane_entries)
+                for router, vc, words in per_cycle
+                for word in words
+            ]
+
+        assert flat_words(rebuilt) == flat_words(chunk.entries)
+
+    def test_array_ring_fifo_roundtrip(self):
+        import numpy as np
+
+        from repro.pipeline.shm import OPEN_RINGS
+
+        ring = self._ring(slots=2, slot_words=64, timeout=1.0)
+        arrays = [
+            np.arange(12, dtype=np.int64).reshape(4, 3),
+            np.array([[7, 8, 9, 10, 11]], dtype=np.int64),
+            np.empty((0, 5), dtype=np.int64),
+        ]
+        ring.put_array(0, arrays[0])
+        ring.put_array(1, arrays[1])
+        assert (ring.get_array() == arrays[0]).all()
+        ring.put_array(2, arrays[2])
+        assert (ring.get_array() == arrays[1]).all()
+        assert ring.get_array().shape == (0, 5)
+        assert ring.stats()["arrays"] == 3
+        ring.close()
+        ring.close()  # idempotent
+        assert ring not in OPEN_RINGS
+
+    def test_oversized_array_rejected(self):
+        import numpy as np
+
+        with self._ring(slots=1, slot_words=8, timeout=0.2) as ring:
+            with pytest.raises(ValueError, match="exceeds the slot size"):
+                ring.put_array(0, np.arange(9, dtype=np.int64))
+
+    def test_full_ring_blocks_then_times_out(self):
+        import numpy as np
+
+        from repro.pipeline.shm import ShmUnavailableError
+
+        with self._ring(slots=1, slot_words=8, timeout=0.1) as ring:
+            ring.put_array(0, np.arange(4, dtype=np.int64))
+            with pytest.raises(ShmUnavailableError, match="no free slot"):
+                ring.put_array(1, np.arange(4, dtype=np.int64))
+            assert (ring.get_array() == np.arange(4)).all()
+            ring.put_array(2, np.arange(3, dtype=np.int64))  # slot reusable
+
+
+class TestStreamedExperimentSweeps:
+    def test_fig1_stream_param_matches_batched(self):
+        from repro.experiments import fig1
+
+        loads = (0.0, 0.04, 0.08, 0.12)
+        streamed = fig1.run(loads=loads, cycles=150, stream=True)
+        batched = fig1.run(loads=loads, cycles=150, stream=False)
+        assert streamed.points == batched.points
+
+    def test_patterns_stream_param_matches_batched(self):
+        from repro.experiments import patterns
+
+        streamed = patterns.run(cycles=250, stream=True)
+        batched = patterns.run(cycles=250, stream=False)
+        assert streamed.points == batched.points
+
+    def test_resilience_stream_matches_serial(self):
+        from repro.experiments import resilience
+        from repro.faults import CampaignConfig
+
+        base = CampaignConfig(n_faults=6, include_flap=False)
+        streamed = resilience.run_sweep((1, 2), base=base, stream=True)
+        serial = resilience.run_sweep((1, 2), base=base, workers=1)
+        assert streamed == serial
+
+
+class TestOverlapCrosscheck:
+    def _controller_report(self):
+        from repro.platform import SimulationController
+
+        net = small_net()
+        be = BernoulliBeTraffic(net, 0.05, uniform_random(net), seed=7)
+        controller = SimulationController(SequentialEngine(net), be=be)
+        return controller.run(256)
+
+    def test_modeled_overlap_accumulates(self):
+        report = self._controller_report()
+        assert report.modeled_overlap_seconds > 0
+        assert 0.0 <= report.modeled_overlap_efficiency <= 1.0
+
+    def test_crosscheck_warns_on_divergence(self):
+        from repro.platform import PipelineProfiler, crosscheck_overlap
+
+        report = self._controller_report()
+        assert report.modeled_overlap_efficiency > 0.2  # workload premise
+
+        # a pipeline run that realised no overlap at all: diverges
+        stalled = PipelineProfiler()
+        stalled.busy_seconds = {"simulate": 1.0, "generate": 1.0}
+        stalled.wall_seconds = 2.0
+        with pytest.warns(RuntimeWarning, match="diverges"):
+            divergence = crosscheck_overlap(report, stalled)
+        assert divergence == pytest.approx(report.modeled_overlap_efficiency)
+        assert report.overlap_divergence == divergence
+        assert report.measured_overlap_seconds == 0.0
+
+        # a pipeline run matching the model: no warning
+        agreeing = PipelineProfiler()
+        agreeing.busy_seconds = {"simulate": 1.0, "generate": 1.0}
+        agreeing.wall_seconds = 2.0 - report.modeled_overlap_efficiency
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert crosscheck_overlap(report, agreeing) == pytest.approx(0.0)
+
+
+@pytest.mark.pipeline_smoke
+class TestPipelineSmoke:
+    """A deliberately tiny two-chunk streamed run — cheap enough for
+    every CI pass, selectable standalone with ``-m pipeline_smoke``."""
+
+    def test_two_chunk_streamed_run(self):
+        net = small_net()
+        be, _ = make_traffic(net, load=0.06, seed=9)
+        engine = SequentialEngine(net)
+        report = run_pipeline(engine, [(be, None)], 64, chunk=32)
+        prof = report.profiler
+        assert prof.items["simulate"] == 2
+        assert prof.items["generate"] == 2
+        assert report.analyze.inj_counts[0] > 0
+        assert report.analyze.ej_counts[0] > 0
+        assert engine.cycle >= 64  # measured cycles plus drain
+        assert prof.wall_seconds > 0
+        assert set(prof.rings) == {"g2l", "l2s", "s2r", "r2a"}
