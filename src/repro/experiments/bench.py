@@ -20,6 +20,7 @@ before/after pair behind the README numbers.
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence
@@ -338,20 +339,39 @@ def render(doc: Dict) -> str:
     return out
 
 
+def _quarantine_artifact(path: str) -> None:
+    """Move a corrupt artifact aside (``<path>.corrupt-<ts>``) so the
+    rebuild starts clean and the evidence survives for inspection."""
+    try:
+        os.replace(path, f"{path}.corrupt-{time.time_ns()}")
+    except OSError:
+        pass
+
+
 def _merge_prior(doc: Dict, path: str) -> Dict:
     """Merge a prior BENCH_table3.json into ``doc`` before writing.
 
     A partial rerun (say ``engines=("sequential",)``) must not wipe the
     other engines' rows, and the ``pre_pr`` reference numbers survive
-    any rerun that does not re-derive them.  A missing, corrupt or
-    foreign prior file is ignored — the new document stands alone.
+    any rerun that does not re-derive them.  A missing prior file means
+    the new document stands alone; a *corrupt* one (truncated write,
+    empty file, garbled JSON, non-object) is quarantined — renamed
+    ``<path>.corrupt-<ts>`` — before the rebuild, never silently
+    overwritten.  A well-formed but foreign benchmark document is left
+    in place and ignored.
     """
     try:
         with open(path) as stream:
             prior = json.load(stream)
-    except (FileNotFoundError, OSError, json.JSONDecodeError, UnicodeDecodeError):
+    except FileNotFoundError:
         return doc
-    if not isinstance(prior, dict) or prior.get("benchmark") != doc.get("benchmark"):
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        _quarantine_artifact(path)
+        return doc
+    if not isinstance(prior, dict):
+        _quarantine_artifact(path)
+        return doc
+    if prior.get("benchmark") != doc.get("benchmark"):
         return doc
     merged = dict(prior)
     merged.update({k: v for k, v in doc.items() if k != "engines"})

@@ -50,6 +50,11 @@ def lane_batchable(n_points: int, workers: Optional[int] = None) -> bool:
     return workers is None and n_points >= LANE_BATCH_THRESHOLD
 
 
+#: environment opt-in for routing sweeps through the supervised job
+#: farm (:mod:`repro.farm`): retry/timeout/worker-replacement around
+#: every sweep point instead of a bare process pool.
+FARM_ENV = "REPRO_FARM"
+
 #: environment opt-in for the streaming five-phase pipeline sweeps.
 STREAM_ENV = "REPRO_STREAM"
 
@@ -66,6 +71,23 @@ def stream_enabled(stream: Optional[bool] = None) -> bool:
     if stream is not None:
         return stream
     return os.environ.get(STREAM_ENV, "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
+
+
+def farm_enabled() -> bool:
+    """Whether sweeps route through the supervised job farm.
+
+    ``REPRO_FARM=1`` turns every :func:`parallel_map` fan-out into a
+    farm batch: same results, same order, but each point gets the
+    farm's retry budget, wall-clock timeout and worker replacement.
+    Points stay byte-identical — supervision wraps execution, it never
+    touches the simulation.
+    """
+    return os.environ.get(FARM_ENV, "").strip().lower() in (
         "1",
         "true",
         "yes",
@@ -125,6 +147,28 @@ def parallel_map(
             with profiler.stage("sweep"):
                 return serial()
         return serial()
+
+    if farm_enabled():
+        from repro.farm.client import farm_map
+        from repro.farm.jobs import FarmJobError
+
+        try:
+            if profiler is not None:
+                profiler.count("workers", workers)
+                profiler.count("farm_batches", 1)
+                with profiler.stage("sweep"):
+                    return farm_map(fn, items, workers=workers)
+            return farm_map(fn, items, workers=workers)
+        except FarmJobError:
+            raise  # a sweep point genuinely failed — never silence it
+        except (OSError, pickle.PicklingError, AttributeError, TypeError):
+            # Farm infrastructure unavailable (no spawning, unpicklable
+            # fn) — same graceful fallback as the plain pool below.
+            if profiler is not None:
+                profiler.count("serial_fallbacks", 1)
+                with profiler.stage("sweep"):
+                    return serial()
+            return serial()
 
     try:
         # Import lazily: platforms without _multiprocessing still run.

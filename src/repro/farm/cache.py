@@ -1,0 +1,223 @@
+"""Content-addressed, crash-safe on-disk result cache.
+
+Bit accuracy makes identical jobs perfectly cacheable: the same spec
+always produces the same payload, so a result indexed by the spec's
+canonical key (:func:`repro.farm.jobs.canonical_key`) can be served
+forever without re-execution.
+
+Crash safety is the design constraint:
+
+* **writes** go to a temporary file in the entry's own directory and
+  land with ``os.replace`` — a worker killed mid-write leaves a stale
+  temp file (swept opportunistically), never a half-written entry;
+* **reads** verify the entry end to end: JSON must parse, the recorded
+  key must match the file, and the payload must hash back to the
+  recorded digest.  Anything else is *quarantined* — renamed to
+  ``<entry>.corrupt-<ns>`` so the evidence survives — and reported as a
+  miss.  A corrupt entry is therefore never served, and never blocks
+  the slot: the next ``put`` rebuilds it.
+
+Quarantined *jobs* (poison jobs that failed past their retry budget)
+are recorded next to the results under ``quarantine/`` with their full
+failure history, mirroring the permanent-link quarantine of PR 1.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, is_dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.farm.jobs import payload_digest
+
+
+class ResultCache:
+    """Directory-backed cache: ``<root>/<key[:2]>/<key>.json``."""
+
+    def __init__(self, root: str, telemetry=None) -> None:
+        self.root = root
+        self.telemetry = telemetry
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        os.makedirs(root, exist_ok=True)
+
+    # -- paths --------------------------------------------------------------
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def quarantine_dir(self) -> str:
+        return os.path.join(self.root, "quarantine")
+
+    def _count(self, name: str, n: int = 1) -> None:
+        if self.telemetry is not None:
+            self.telemetry.incr(name, n, scope="cache")
+
+    # -- data path ----------------------------------------------------------
+    def get(self, key: str) -> Optional[Any]:
+        """The cached payload for ``key``, or ``None`` on miss/corrupt."""
+        path = self.path_for(key)
+        try:
+            with open(path) as stream:
+                entry = json.load(stream)
+            if not isinstance(entry, dict):
+                raise ValueError("entry is not an object")
+            if entry.get("key") != key:
+                raise ValueError("entry key mismatch")
+            payload = entry["payload"]
+            if payload_digest(payload) != entry.get("digest"):
+                raise ValueError("payload digest mismatch")
+        except FileNotFoundError:
+            self.misses += 1
+            self._count("misses")
+            return None
+        except (OSError, UnicodeDecodeError, ValueError, KeyError, TypeError):
+            # json.JSONDecodeError is a ValueError: truncated, empty and
+            # garbled entries all land here.  Evict, keep the evidence.
+            self._evict(path)
+            self.misses += 1
+            self._count("misses")
+            return None
+        self.hits += 1
+        self._count("hits")
+        return payload
+
+    def put(self, key: str, payload: Any, spec: Any = None) -> bool:
+        """Store ``payload`` under ``key`` atomically.
+
+        Returns ``False`` (and stores nothing) for payloads that do not
+        survive the JSON round trip — the cache only holds entries it
+        can later verify.
+        """
+        entry: Dict[str, Any] = {
+            "key": key,
+            "digest": payload_digest(payload),
+            "payload": payload,
+            "stored_at": time.time(),
+        }
+        if spec is not None and is_dataclass(spec):
+            entry["spec"] = {"kind": spec.kind, **_jsonable(asdict(spec))}
+        try:
+            text = json.dumps(entry, sort_keys=True)
+        except (TypeError, ValueError):
+            self._count("uncacheable")
+            return False
+        path = self.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as stream:
+            stream.write(text)
+            stream.write("\n")
+        os.replace(tmp, path)
+        self.stores += 1
+        self._count("stores")
+        return True
+
+    def _evict(self, path: str) -> None:
+        """Move a corrupt entry out of the address space, preserving it."""
+        try:
+            os.replace(path, f"{path}.corrupt-{time.time_ns()}")
+            self.evictions += 1
+            self._count("evictions")
+        except OSError:
+            pass
+
+    # -- quarantined jobs ---------------------------------------------------
+    def quarantine_job(self, key: str, spec: Any, failures: List) -> None:
+        """Persist a poison job's failure record (atomic, best effort)."""
+        record = {
+            "key": key,
+            "kind": getattr(spec, "kind", type(spec).__name__),
+            "failures": [
+                f.as_dict() if hasattr(f, "as_dict") else str(f) for f in failures
+            ],
+            "quarantined_at": time.time(),
+        }
+        if is_dataclass(spec):
+            record["spec"] = _jsonable(asdict(spec))
+        directory = self.quarantine_dir()
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{key}.json")
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w") as stream:
+                json.dump(record, stream, indent=2, sort_keys=True)
+                stream.write("\n")
+            os.replace(tmp, path)
+        except (OSError, TypeError, ValueError):
+            pass
+
+    def quarantined_jobs(self) -> List[Dict[str, Any]]:
+        directory = self.quarantine_dir()
+        records = []
+        try:
+            names = sorted(os.listdir(directory))
+        except OSError:
+            return records
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            try:
+                with open(os.path.join(directory, name)) as stream:
+                    records.append(json.load(stream))
+            except (OSError, ValueError):
+                continue
+        return records
+
+    # -- maintenance --------------------------------------------------------
+    def entries(self) -> List[str]:
+        """Keys of every entry currently on disk (verified or not)."""
+        keys = []
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            if os.path.basename(dirpath) == "quarantine":
+                continue
+            for name in filenames:
+                if name.endswith(".json") and ".tmp." not in name:
+                    keys.append(name[: -len(".json")])
+        return sorted(keys)
+
+    def verify(self) -> Dict[str, int]:
+        """Scan every entry, evicting the corrupt ones."""
+        checked = evicted = 0
+        for key in self.entries():
+            checked += 1
+            before = self.evictions
+            self.get(key)
+            if self.evictions > before:
+                evicted += 1
+        return {"checked": checked, "evicted": evicted}
+
+    def clear(self) -> int:
+        """Delete every result entry (quarantine records are kept)."""
+        removed = 0
+        for key in self.entries():
+            try:
+                os.remove(self.path_for(key))
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self.entries()),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "quarantined_jobs": len(self.quarantined_jobs()),
+        }
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort JSON projection of a spec dict (drops what can't)."""
+    try:
+        json.dumps(value)
+        return value
+    except (TypeError, ValueError):
+        if isinstance(value, dict):
+            return {str(k): _jsonable(v) for k, v in value.items()}
+        return repr(value)

@@ -1,0 +1,608 @@
+"""The farm supervisor: deploy, monitor, recover.
+
+:class:`FarmSupervisor` schedules job specs over a pool of supervised
+worker processes and survives every failure mode the chaos suite can
+inject:
+
+* **crash** — a dead worker (EOF on its pipe, ``is_alive()`` false) is
+  replaced and its in-flight job requeued with backoff;
+* **hang** — a job past its wall-clock ``job_timeout`` gets its worker
+  SIGTERMed, then SIGKILLed (escalation), a fresh worker spawned, and
+  the job requeued;
+* **wedge** — a worker whose heartbeat goes stale (frozen process) is
+  killed and replaced even though its deadline has not expired;
+* **poison** — a job that fails past the
+  :class:`~repro.faults.policy.RetryPolicy` budget is quarantined with
+  its complete failure record, never retried forever;
+* **duplicate** — identical specs in one batch execute once; repeats
+  across runs are served from the result cache without execution.
+
+Degradation ladder (never an exception, always an answer):
+
+1. ``processes`` — the supervised pool above;
+2. ``inline`` — process spawning unavailable (sandboxes): jobs run in
+   the supervisor's own process with the same retry budget (timeouts
+   cannot be enforced without a killable process — documented, not
+   hidden);
+3. ``cache-only`` — ``workers=0``: cache hits are served, everything
+   else is reported ``unavailable``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.farm.cache import ResultCache
+from repro.farm.jobs import FailureRecord, JobState, canonical_key, execute
+from repro.farm.queue import JobQueue
+from repro.faults.policy import RetryPolicy
+from repro.platform.logs import TelemetryCounters
+
+#: seconds a SIGTERM gets before escalating to SIGKILL.
+TERM_GRACE = 0.5
+
+
+@dataclass
+class JobOutcome:
+    """Terminal state of one unique job key."""
+
+    key: str
+    spec: Any
+    status: str  # "completed" | "quarantined" | "unavailable"
+    payload: Any = None
+    from_cache: bool = False
+    attempts: int = 0
+    failures: List[FailureRecord] = field(default_factory=list)
+    worker: Optional[int] = None
+    elapsed: float = 0.0
+
+
+@dataclass
+class FarmReport:
+    """Everything one :meth:`FarmSupervisor.submit` batch produced."""
+
+    mode: str
+    order: List[str]  # submit-order keys (duplicates included)
+    outcomes: Dict[str, JobOutcome]
+    counters: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def _with_status(self, status: str) -> List[JobOutcome]:
+        seen = []
+        for key in dict.fromkeys(self.order):
+            outcome = self.outcomes[key]
+            if outcome.status == status:
+                seen.append(outcome)
+        return seen
+
+    @property
+    def completed(self) -> List[JobOutcome]:
+        return self._with_status("completed")
+
+    @property
+    def quarantined(self) -> List[JobOutcome]:
+        return self._with_status("quarantined")
+
+    @property
+    def unavailable(self) -> List[JobOutcome]:
+        return self._with_status("unavailable")
+
+    @property
+    def ok(self) -> bool:
+        return not self.quarantined and not self.unavailable
+
+    def payloads(self) -> List[Any]:
+        """Payloads in submit order (duplicates resolved per key)."""
+        return [self.outcomes[key].payload for key in self.order]
+
+    def render(self) -> str:
+        lines = [
+            f"farm report ({self.mode}): {len(self.order)} job(s), "
+            f"{len(self.completed)} completed, "
+            f"{len(self.quarantined)} quarantined, "
+            f"{len(self.unavailable)} unavailable"
+        ]
+        for key in dict.fromkeys(self.order):
+            outcome = self.outcomes[key]
+            source = "cache" if outcome.from_cache else f"worker {outcome.worker}"
+            line = (
+                f"  {key[:12]}  {getattr(outcome.spec, 'kind', '?'):<9} "
+                f"{outcome.status:<12}"
+            )
+            if outcome.status == "completed":
+                line += f" via {source}, {outcome.attempts or 1} attempt(s)"
+            elif outcome.failures:
+                last = outcome.failures[-1]
+                line += f" after {len(outcome.failures)} failure(s): {last.kind}"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+class _WorkerHandle:
+    """Supervisor-side view of one worker process."""
+
+    def __init__(self, worker_id: int, proc, job_conn, result_conn, heartbeat):
+        self.worker_id = worker_id
+        self.proc = proc
+        self.job_conn = job_conn  # supervisor -> worker
+        self.result_conn = result_conn  # worker -> supervisor
+        self.heartbeat = heartbeat
+        self.busy: Optional[JobState] = None
+        self.deadline: float = 0.0
+        self.dispatched_at: float = 0.0
+        self.jobs_done = 0
+
+    def alive(self) -> bool:
+        return self.proc.is_alive()
+
+    def close_conns(self) -> None:
+        for conn in (self.job_conn, self.result_conn):
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+class FarmSupervisor:
+    """Supervised worker pool + result cache; see the module docstring."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        policy: Optional[RetryPolicy] = None,
+        cache: Optional[ResultCache] = None,
+        job_timeout: float = 60.0,
+        heartbeat_interval: float = 0.5,
+        heartbeat_timeout: float = 15.0,
+        poll: float = 0.05,
+        scratch: Optional[str] = None,
+        telemetry: Optional[TelemetryCounters] = None,
+        on_dispatch: Optional[Callable[["_WorkerHandle", JobState], None]] = None,
+        name: str = "farm",
+    ) -> None:
+        self.n_workers = max(0, workers)
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.cache = cache
+        self.job_timeout = job_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.poll = poll
+        self.telemetry = telemetry if telemetry is not None else TelemetryCounters()
+        self.on_dispatch = on_dispatch
+        self.name = name
+        self.workers: List[_WorkerHandle] = []
+        self.mode = "cache-only" if self.n_workers == 0 else "unstarted"
+        self._next_worker_id = 0
+        self._ctx = None
+        self._scratch = scratch
+        self._own_scratch = scratch is None
+        self._started = False
+        if self.cache is not None and self.cache.telemetry is None:
+            self.cache.telemetry = self.telemetry
+
+    # -- lifecycle ----------------------------------------------------------
+    def __enter__(self) -> "FarmSupervisor":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        if self._scratch is None:
+            self._scratch = tempfile.mkdtemp(prefix="repro-farm-")
+        if self.n_workers == 0:
+            self.mode = "cache-only"
+            return
+        try:
+            import multiprocessing as mp
+
+            methods = mp.get_all_start_methods()
+            self._ctx = mp.get_context("fork" if "fork" in methods else None)
+            for _ in range(self.n_workers):
+                self.workers.append(self._spawn())
+            self.mode = "processes"
+        except (OSError, PermissionError, ImportError, ValueError,
+                AttributeError, RuntimeError):
+            # No process spawning here (sandbox, missing semaphores...):
+            # degrade to in-process execution, keep the retry budget.
+            self._teardown_workers()
+            self.mode = "inline"
+            self.telemetry.incr("inline_fallbacks")
+
+    def _spawn(self) -> _WorkerHandle:
+        from repro.farm.worker import PROCESS_PREFIX, worker_main
+
+        ctx = self._ctx
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        job_recv, job_send = ctx.Pipe(duplex=False)
+        result_recv, result_send = ctx.Pipe(duplex=False)
+        heartbeat = ctx.Value("d", time.monotonic())
+        proc = ctx.Process(
+            target=worker_main,
+            args=(worker_id, job_recv, result_send, heartbeat,
+                  self.heartbeat_interval, self._scratch),
+            name=f"{PROCESS_PREFIX}{self.name}-w{worker_id}",
+            daemon=True,
+        )
+        proc.start()
+        # Close the child's ends in this process so a dead worker turns
+        # into EOF on result_recv instead of an eternally open pipe.
+        job_recv.close()
+        result_send.close()
+        self.telemetry.incr("workers_spawned")
+        return _WorkerHandle(worker_id, proc, job_send, result_recv, heartbeat)
+
+    def close(self) -> None:
+        """Stop every worker (graceful, then SIGTERM, then SIGKILL)."""
+        self._teardown_workers()
+        if self._own_scratch and self._scratch is not None:
+            shutil.rmtree(self._scratch, ignore_errors=True)
+            self._scratch = None
+
+    def _teardown_workers(self) -> None:
+        for worker in self.workers:
+            try:
+                worker.job_conn.send(("stop",))
+            except (OSError, ValueError):
+                pass
+        for worker in self.workers:
+            worker.proc.join(timeout=1.0)
+            if worker.proc.is_alive():
+                self._kill(worker)
+            worker.close_conns()
+            # release the process table entry
+            try:
+                worker.proc.join(timeout=1.0)
+            except (OSError, AssertionError):
+                pass
+        self.workers = []
+
+    def _kill(self, worker: _WorkerHandle) -> None:
+        """SIGTERM, short grace, then SIGKILL — a wedged worker cannot
+        refuse."""
+        try:
+            worker.proc.terminate()
+            worker.proc.join(timeout=TERM_GRACE)
+            if worker.proc.is_alive():
+                worker.proc.kill()
+                worker.proc.join(timeout=5.0)
+                self.telemetry.incr("sigkills")
+        except (OSError, AttributeError):
+            pass
+
+    # -- submission ---------------------------------------------------------
+    def submit(self, specs: Sequence[Any]) -> FarmReport:
+        """Run a batch of job specs to terminal outcomes."""
+        self.start()
+        order: List[str] = []
+        outcomes: Dict[str, JobOutcome] = {}
+        queue = JobQueue(self.policy)
+        states: Dict[str, JobState] = {}
+
+        for spec in specs:
+            key = canonical_key(spec)
+            order.append(key)
+            self.telemetry.incr("jobs_submitted")
+            if key in outcomes or key in states:
+                self.telemetry.incr("duplicates_coalesced")
+                continue
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                outcomes[key] = JobOutcome(
+                    key, spec, "completed", payload=cached, from_cache=True
+                )
+                continue
+            if self.mode == "cache-only":
+                outcomes[key] = JobOutcome(key, spec, "unavailable")
+                self.telemetry.incr("unavailable")
+                continue
+            state = JobState(spec, key)
+            states[key] = state
+            queue.add(state)
+
+        if states:
+            if self.mode == "inline":
+                self._run_inline(queue, outcomes)
+            else:
+                self._run_processes(queue, states, outcomes)
+        return FarmReport(
+            mode=self.mode,
+            order=order,
+            outcomes=outcomes,
+            counters=self.telemetry.snapshot(),
+        )
+
+    # -- terminal transitions ----------------------------------------------
+    def _complete(
+        self,
+        outcomes: Dict[str, JobOutcome],
+        state: JobState,
+        payload: Any,
+        worker: Optional[int],
+        elapsed: float,
+    ) -> None:
+        outcomes[state.key] = JobOutcome(
+            state.key,
+            state.spec,
+            "completed",
+            payload=payload,
+            attempts=state.attempts + 1,
+            failures=state.failures,
+            worker=worker,
+            elapsed=elapsed,
+        )
+        self.telemetry.incr("jobs_completed")
+        if worker is not None:
+            self.telemetry.incr("jobs_completed", scope=f"worker[{worker}]")
+        if self.cache is not None:
+            self.cache.put(state.key, payload, spec=state.spec)
+
+    def _fail(
+        self,
+        queue: JobQueue,
+        outcomes: Dict[str, JobOutcome],
+        state: JobState,
+        record: FailureRecord,
+        now: float,
+    ) -> None:
+        self.telemetry.incr("job_failures")
+        self.telemetry.incr(f"failures_{record.kind}")
+        if record.worker is not None:
+            self.telemetry.incr("job_failures", scope=f"worker[{record.worker}]")
+        verdict = queue.fail(state, record, now)
+        if verdict == "retry":
+            self.telemetry.incr("retries")
+        else:
+            outcomes[state.key] = JobOutcome(
+                state.key,
+                state.spec,
+                "quarantined",
+                attempts=state.attempts,
+                failures=state.failures,
+            )
+            self.telemetry.incr("jobs_quarantined")
+            if self.cache is not None:
+                self.cache.quarantine_job(state.key, state.spec, state.failures)
+
+    # -- inline (degraded) execution ----------------------------------------
+    def _run_inline(self, queue: JobQueue, outcomes: Dict[str, JobOutcome]) -> None:
+        while queue:
+            now = time.monotonic()
+            state = queue.next_ready(now)
+            if state is None:
+                wait = queue.soonest(now)
+                time.sleep(min(wait if wait is not None else self.poll, 0.25))
+                continue
+            started = time.perf_counter()
+            try:
+                payload = execute(state.spec, scratch=self._scratch)
+            except Exception as exc:  # noqa: BLE001 - budgeted retry
+                self._fail(
+                    queue,
+                    outcomes,
+                    state,
+                    FailureRecord(
+                        "exception",
+                        f"{type(exc).__name__}: {exc}",
+                        attempt=state.attempts + 1,
+                        elapsed=time.perf_counter() - started,
+                    ),
+                    time.monotonic(),
+                )
+                continue
+            self._complete(
+                outcomes, state, payload, None, time.perf_counter() - started
+            )
+
+    # -- supervised process execution ----------------------------------------
+    def _dispatch(self, worker: _WorkerHandle, state: JobState) -> None:
+        now = time.monotonic()
+        worker.busy = state
+        worker.dispatched_at = now
+        worker.deadline = now + self.job_timeout
+        worker.job_conn.send(("job", state.key, state.spec))
+        self.telemetry.incr("dispatches")
+        self.telemetry.incr("dispatches", scope=f"worker[{worker.worker_id}]")
+        if self.on_dispatch is not None:
+            self.on_dispatch(worker, state)
+
+    def _replace(self, worker: _WorkerHandle) -> None:
+        """Swap a dead/killed worker for a fresh one (same slot)."""
+        worker.close_conns()
+        try:
+            worker.proc.join(timeout=0.5)
+        except (OSError, AssertionError):
+            pass
+        self.telemetry.incr("workers_replaced")
+        index = self.workers.index(worker)
+        try:
+            self.workers[index] = self._spawn()
+        except (OSError, PermissionError, ValueError, RuntimeError):
+            # Cannot respawn any more: shrink the pool; if it empties,
+            # the drain loop degrades the rest of the batch to inline.
+            self.workers.pop(index)
+            self.telemetry.incr("respawn_failures")
+
+    def _requeue_inflight(
+        self,
+        queue: JobQueue,
+        outcomes: Dict[str, JobOutcome],
+        worker: _WorkerHandle,
+        kind: str,
+        detail: str,
+    ) -> None:
+        state = worker.busy
+        worker.busy = None
+        if state is None or state.key in outcomes:
+            return
+        self._fail(
+            queue,
+            outcomes,
+            state,
+            FailureRecord(
+                kind,
+                detail,
+                attempt=state.attempts + 1,
+                worker=worker.worker_id,
+                elapsed=time.monotonic() - worker.dispatched_at,
+            ),
+            time.monotonic(),
+        )
+
+    def _run_processes(
+        self,
+        queue: JobQueue,
+        states: Dict[str, JobState],
+        outcomes: Dict[str, JobOutcome],
+    ) -> None:
+        from multiprocessing import connection as mp_connection
+
+        inflight: Dict[str, JobState] = {}
+
+        while queue or any(w.busy is not None for w in self.workers):
+            if not self.workers:
+                # Every worker died and none could be respawned: finish
+                # the remaining work inline rather than losing it.
+                self.mode = "inline"
+                self.telemetry.incr("inline_fallbacks")
+                for worker_state in list(inflight.values()):
+                    if worker_state.key not in outcomes:
+                        queue.add(worker_state)
+                inflight.clear()
+                self._run_inline(queue, outcomes)
+                return
+            now = time.monotonic()
+
+            # 1. dispatch ready jobs onto idle workers
+            for worker in self.workers:
+                if worker.busy is not None:
+                    continue
+                state = queue.next_ready(now)
+                if state is None:
+                    break
+                inflight[state.key] = state
+                try:
+                    self._dispatch(worker, state)
+                except (OSError, ValueError, BrokenPipeError):
+                    # Pipe already dead: treat as a worker death.
+                    inflight.pop(state.key, None)
+                    self._requeue_inflight(
+                        queue, outcomes, worker, "worker-died",
+                        "job pipe closed at dispatch",
+                    )
+                    self._kill(worker)
+                    self._replace(worker)
+
+            # 2. wait for results (bounded by the poll interval)
+            conns = {w.result_conn: w for w in self.workers}
+            ready = mp_connection.wait(list(conns), timeout=self.poll)
+            for conn in ready:
+                worker = conns[conn]
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    self._handle_death(queue, outcomes, worker, inflight)
+                    continue
+                self._handle_message(queue, outcomes, worker, message, inflight)
+
+            # 3. enforce per-job deadlines (timeout -> kill escalation)
+            now = time.monotonic()
+            for worker in list(self.workers):
+                if worker.busy is not None and now > worker.deadline:
+                    self.telemetry.incr("timeouts")
+                    state = worker.busy
+                    inflight.pop(state.key, None)
+                    self._requeue_inflight(
+                        queue, outcomes, worker, "timeout",
+                        f"exceeded {self.job_timeout:.1f}s wall clock",
+                    )
+                    self._kill(worker)
+                    self._replace(worker)
+
+            # 4. liveness: dead processes and stale heartbeats
+            now = time.monotonic()
+            for worker in list(self.workers):
+                if not worker.alive():
+                    self._handle_death(queue, outcomes, worker, inflight)
+                elif (
+                    now - worker.heartbeat.value > self.heartbeat_timeout
+                ):
+                    self.telemetry.incr("heartbeat_losses")
+                    state = worker.busy
+                    if state is not None:
+                        inflight.pop(state.key, None)
+                    self._requeue_inflight(
+                        queue, outcomes, worker, "heartbeat",
+                        f"no heartbeat for {self.heartbeat_timeout:.1f}s",
+                    )
+                    self._kill(worker)
+                    self._replace(worker)
+
+    def _handle_death(
+        self,
+        queue: JobQueue,
+        outcomes: Dict[str, JobOutcome],
+        worker: _WorkerHandle,
+        inflight: Dict[str, JobState],
+    ) -> None:
+        self.telemetry.incr("worker_deaths")
+        state = worker.busy
+        if state is not None:
+            inflight.pop(state.key, None)
+        self._requeue_inflight(
+            queue, outcomes, worker, "worker-died",
+            f"worker {worker.worker_id} exited "
+            f"(exitcode {worker.proc.exitcode})",
+        )
+        self._kill(worker)
+        self._replace(worker)
+
+    def _handle_message(
+        self,
+        queue: JobQueue,
+        outcomes: Dict[str, JobOutcome],
+        worker: _WorkerHandle,
+        message,
+        inflight: Dict[str, JobState],
+    ) -> None:
+        tag = message[0]
+        if tag == "done":
+            _tag, worker_id, key, payload, elapsed = message
+            state = inflight.pop(key, None)
+            if state is None or key in outcomes:
+                self.telemetry.incr("stale_results")
+            else:
+                worker.jobs_done += 1
+                self._complete(outcomes, state, payload, worker_id, elapsed)
+            if worker.busy is not None and worker.busy.key == key:
+                worker.busy = None
+        elif tag == "fail":
+            _tag, worker_id, key, detail, elapsed = message
+            state = inflight.pop(key, None)
+            if worker.busy is not None and worker.busy.key == key:
+                worker.busy = None
+            if state is None or key in outcomes:
+                self.telemetry.incr("stale_results")
+                return
+            self._fail(
+                queue,
+                outcomes,
+                state,
+                FailureRecord(
+                    "exception",
+                    detail,
+                    attempt=state.attempts + 1,
+                    worker=worker_id,
+                    elapsed=elapsed,
+                ),
+                time.monotonic(),
+            )

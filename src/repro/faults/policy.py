@@ -1,0 +1,64 @@
+"""The shared retry/backoff policy of the fault-tolerant stack.
+
+Two layers of the system retry failed work:
+
+* the :class:`~repro.platform.controller.SimulationController` retries a
+  *period* after a detected fault (rolling back to the last checkpoint
+  and halving the period — its in-simulation analogue of backoff);
+* the :mod:`repro.farm` supervisor retries a *job* after a worker crash,
+  hang or exception, sleeping real wall-clock time between attempts.
+
+Both share one budget contract, :class:`RetryPolicy`: a bounded number
+of retries and an exponential backoff with deterministic jitter.  The
+jitter is a pure function of ``(token, attempt)`` — no global RNG is
+consulted — so identical runs schedule identical retries, preserving
+the reproduction's determinism guarantee even on its failure paths.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget + exponential backoff with deterministic jitter.
+
+    ``max_retries`` counts *retries*, not attempts: a job may run at
+    most ``max_retries + 1`` times before it is given up (quarantined
+    by the farm, :class:`~repro.faults.errors.RecoveryExhaustedError`
+    from the controller).
+    """
+
+    max_retries: int = 3
+    #: seconds before the first retry
+    base_delay: float = 0.05
+    #: multiplier per further retry
+    factor: float = 2.0
+    #: backoff ceiling in seconds
+    max_delay: float = 2.0
+    #: +- fraction of the raw delay added as deterministic jitter
+    jitter: float = 0.25
+
+    def allows(self, attempts: int) -> bool:
+        """Whether a job that already failed ``attempts`` times may run
+        again."""
+        return attempts <= self.max_retries
+
+    def delay(self, attempt: int, token: str = "") -> float:
+        """Seconds to back off before retry number ``attempt`` (1-based).
+
+        The jitter de-synchronises retries of different jobs (``token``
+        is typically the job's canonical key) without sacrificing
+        determinism: the same ``(token, attempt)`` always yields the
+        same delay.
+        """
+        raw = min(
+            self.max_delay, self.base_delay * self.factor ** max(0, attempt - 1)
+        )
+        if self.jitter <= 0.0 or raw <= 0.0:
+            return raw
+        digest = hashlib.sha256(f"{token}:{attempt}".encode()).digest()
+        frac = int.from_bytes(digest[:4], "big") / 0xFFFFFFFF  # in [0, 1]
+        return raw * (1.0 + self.jitter * (2.0 * frac - 1.0))

@@ -306,13 +306,27 @@ def _run_threaded(
         for ring in abortable:
             ring.abort()
 
-    for thread in threads:
-        thread.join()
-    for ring, name in zip(rings, ("g2l", "l2s", "s2r", "r2a")):
-        prof.rings[name] = ring.stats()
-    if shm_ring is not None:
-        prof.rings["l2s-shm"] = shm_ring.stats()
-        shm_ring.close()
+    try:
+        try:
+            for thread in threads:
+                thread.join()
+        except BaseException as exc:  # noqa: BLE001 - second interrupt
+            # Interrupted *during* the join (e.g. a second Ctrl-C while
+            # unwinding the first): abort every ring so blocked stages
+            # wake, then finish the join — stage threads always exit
+            # once their rings are aborted, so this cannot hang.
+            if caller_error is None:
+                caller_error = exc
+            for ring in abortable:
+                ring.abort()
+            for thread in threads:
+                thread.join()
+    finally:
+        for ring, name in zip(rings, ("g2l", "l2s", "s2r", "r2a")):
+            prof.rings[name] = ring.stats()
+        if shm_ring is not None:
+            prof.rings["l2s-shm"] = shm_ring.stats()
+            shm_ring.close()
     errors = [t.error for t in threads if t.error is not None]
     if caller_error is not None:
         errors.append(caller_error)

@@ -25,11 +25,15 @@ Creation degrades gracefully: where the platform forbids shared memory
 requirement.
 
 Every live ring registers itself in :data:`OPEN_RINGS`; the test
-suite's leak fixture asserts the set drains back to empty.
+suite's leak fixture asserts the set drains back to empty, and an
+``atexit`` sweep unlinks whatever is still registered on abnormal
+interpreter exit — a ``KeyboardInterrupt`` mid-pipeline must not leave
+named segments behind in ``/dev/shm``.
 """
 
 from __future__ import annotations
 
+import atexit
 import threading
 import weakref
 from typing import List, Optional, Tuple
@@ -41,6 +45,23 @@ from repro.platform.cyclic_buffer import CyclicBuffer
 
 #: live ShmArrayRing instances (weak): the leak-check fixture reads it.
 OPEN_RINGS: "weakref.WeakSet[ShmArrayRing]" = weakref.WeakSet()
+
+
+def _close_open_rings() -> None:
+    """Last-chance cleanup of rings still open at interpreter exit.
+
+    ``close`` is idempotent, so sweeping rings that a finally-block
+    already released is harmless; sweeping rings an abnormal exit
+    *skipped* is what keeps ``/dev/shm`` from accumulating segments.
+    """
+    for ring in list(OPEN_RINGS):
+        try:
+            ring.close()
+        except Exception:  # pragma: no cover - nothing to do at exit
+            pass
+
+
+atexit.register(_close_open_rings)
 
 
 class ShmUnavailableError(RuntimeError):
@@ -142,12 +163,23 @@ class ShmArrayRing:
                 f"{self.name}: array of {flat.size} words exceeds the "
                 f"slot size {self.slot_words}"
             )
-        if not self._free.acquire(
-            timeout=self.timeout if self.timeout is not None else None
-        ):
-            raise ShmUnavailableError(
-                f"{self.name}: no free slot within {self.timeout}s"
-            )
+        # Acquire in short steps so an abort() unblocks a waiting
+        # producer promptly instead of after the full ring timeout.
+        from repro.platform.cyclic_buffer import BufferOverrunError
+
+        deadline = self.timeout
+        waited = 0.0
+        while not self._free.acquire(timeout=0.05):
+            if self._abort.is_set():
+                # Same wake-up signal as the object rings, so the
+                # runner's root-cause filter treats it as an abort
+                # echo, not the error that started the collapse.
+                raise BufferOverrunError(f"{self.name}: aborted")
+            waited += 0.05
+            if deadline is not None and waited >= deadline:
+                raise ShmUnavailableError(
+                    f"{self.name}: no free slot within {self.timeout}s"
+                )
         slot = self._next_slot
         self._next_slot = (slot + 1) % self.slots
         self._array[slot, : flat.size] = flat

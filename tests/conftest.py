@@ -33,10 +33,11 @@ _HAVE_SIGALRM = hasattr(signal, "SIGALRM")
 
 @pytest.fixture(autouse=True)
 def _no_pipeline_leaks():
-    """Every test must leave the streaming pipeline torn down: no
-    ``repro-pipeline-*`` worker threads still alive and no shared-memory
-    rings still registered.  Lazy lookups keep this free for the tests
-    that never touch the pipeline."""
+    """Every test must leave the streaming pipeline and the job farm
+    torn down: no ``repro-pipeline-*`` worker threads still alive, no
+    shared-memory rings still registered, and no ``repro-farm-*``
+    worker processes still among our children.  Lazy lookups keep this
+    free for the tests that never touch either subsystem."""
     yield
     leaked = [
         t.name
@@ -48,6 +49,15 @@ def _no_pipeline_leaks():
     if shm is not None:
         rings = [r.name for r in shm.OPEN_RINGS]
         assert not rings, f"leaked shared-memory rings: {rings}"
+    if "repro.farm.supervisor" in sys.modules:
+        import multiprocessing
+
+        workers = [
+            p.name
+            for p in multiprocessing.active_children()
+            if p.name.startswith("repro-farm-")
+        ]
+        assert not workers, f"leaked farm workers: {workers}"
 
 
 def pytest_collection_modifyitems(config, items):

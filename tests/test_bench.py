@@ -170,6 +170,53 @@ class TestBenchDocument:
         assert set(json.loads(path.read_text())["engines"]) == {"sequential"}
 
 
+class TestArtifactResilience:
+    """A corrupt committed artifact (torn write, truncation, garbage)
+    must be quarantined — renamed ``.corrupt-<ts>`` so the evidence
+    survives — and the document rebuilt; the merge never crashes and
+    never silently overwrites the corpse."""
+
+    NEW = {
+        "benchmark": "table3_engine_speed",
+        "engines": {"sequential": {"name": "sequential", "cps": 5.0}},
+    }
+
+    @pytest.mark.parametrize(
+        "damage",
+        [
+            "",  # empty file: a torn create
+            '{"benchmark": "table3_engine_speed", "engi',  # truncated write
+            "\x00\x01 binary garbage",  # not JSON at all
+            "[1, 2, 3]",  # JSON but not an object
+        ],
+        ids=["empty", "truncated", "garbage", "non-object"],
+    )
+    def test_corrupt_prior_is_quarantined_and_rebuilt(self, tmp_path, damage):
+        path = tmp_path / "BENCH_table3.json"
+        path.write_text(damage)
+        out = bench.write(dict(self.NEW), str(path))
+        assert out == str(path)
+        rebuilt = json.loads(path.read_text())
+        assert set(rebuilt["engines"]) == {"sequential"}
+        corpses = [p for p in os.listdir(tmp_path) if ".corrupt-" in p]
+        assert len(corpses) == 1
+        assert (tmp_path / corpses[0]).read_text() == damage
+
+    def test_foreign_document_is_ignored_not_quarantined(self, tmp_path):
+        path = tmp_path / "BENCH_table3.json"
+        foreign = {"benchmark": "someone_elses", "engines": {"x": {}}}
+        path.write_text(json.dumps(foreign))
+        bench.write(dict(self.NEW), str(path))
+        assert set(json.loads(path.read_text())["engines"]) == {"sequential"}
+        assert not [p for p in os.listdir(tmp_path) if ".corrupt-" in p]
+
+    def test_missing_prior_is_not_an_error(self, tmp_path):
+        path = tmp_path / "BENCH_table3.json"
+        bench.write(dict(self.NEW), str(path))
+        assert json.loads(path.read_text())["engines"]["sequential"]["cps"] == 5.0
+        assert not [p for p in os.listdir(tmp_path) if ".corrupt-" in p]
+
+
 @pytest.mark.bench_smoke
 class TestBenchSmokeMarker:
     """A deliberately tiny batched benchmark point: two lanes, fifty

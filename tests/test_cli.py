@@ -70,3 +70,107 @@ class TestCli:
     def test_experiments_delegation(self, capsys):
         assert main(["experiments", "table1"]) == 0
         assert "Table 1" in capsys.readouterr().out
+
+
+class TestCliExitCodes:
+    """Simulation failures must exit nonzero — scripts and CI gate on
+    the exit code, not on scraping stderr."""
+
+    def test_simulate_failure_exits_nonzero(self, monkeypatch, capsys):
+        from repro.traffic import NetworkOverloadError
+        from repro.traffic.stimuli import TrafficDriver
+
+        def bomb(self, cycles):
+            raise NetworkOverloadError("source 3 stalled for 1000 cycles")
+
+        monkeypatch.setattr(TrafficDriver, "run", bomb)
+        assert main(
+            ["simulate", "--width", "3", "--height", "3", "--cycles", "20"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "simulation failed" in err
+        assert "NetworkOverloadError" in err
+
+    @staticmethod
+    def _fake_campaign(recovery_rate, recovery_exhausted=False):
+        class _Report:
+            detected = 10
+            undetected = 0
+
+            def render(self):
+                return "fake campaign report"
+
+        report = _Report()
+        report.recovery_rate = recovery_rate
+        report.recovery_exhausted = recovery_exhausted
+        report.detection_rate = 1.0
+        return report
+
+    def test_faults_below_min_recovery_exits_nonzero(self, monkeypatch, capsys):
+        import repro.faults
+
+        monkeypatch.setattr(
+            repro.faults, "run_campaign",
+            lambda cfg: self._fake_campaign(recovery_rate=0.5),
+        )
+        assert main(["faults", "campaign", "--faults", "5"]) == 1
+        assert "below the --min-recovery threshold" in capsys.readouterr().err
+
+    def test_faults_min_recovery_threshold_is_tunable(self, monkeypatch, capsys):
+        import repro.faults
+
+        monkeypatch.setattr(
+            repro.faults, "run_campaign",
+            lambda cfg: self._fake_campaign(recovery_rate=0.5),
+        )
+        assert main(
+            ["faults", "campaign", "--faults", "5", "--min-recovery", "0.4"]
+        ) == 0
+
+    def test_faults_recovery_exhausted_exits_nonzero(self, monkeypatch, capsys):
+        import repro.faults
+
+        monkeypatch.setattr(
+            repro.faults, "run_campaign",
+            lambda cfg: self._fake_campaign(
+                recovery_rate=1.0, recovery_exhausted=True
+            ),
+        )
+        assert main(["faults", "campaign", "--faults", "5"]) == 1
+        assert "recovery budget exhausted" in capsys.readouterr().err
+
+
+@pytest.mark.farm_smoke
+class TestFarmCli:
+    def test_farm_run_then_cache_hit(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        args = [
+            "farm", "run", "--width", "3", "--height", "3", "--cycles", "40",
+            "--load", "0.05", "--workers", "2", "--cache", cache,
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "completed" in first and "farm report" in first
+
+        assert main(args) == 0  # identical batch: served from cache
+        assert "via cache" in capsys.readouterr().out
+
+        assert main(["farm", "status", "--cache", cache]) == 0
+        assert "1 entries" in capsys.readouterr().out
+
+        assert main(["farm", "cache", "--cache", cache, "--verify"]) == 0
+        assert "entries" in capsys.readouterr().out
+
+    def test_farm_cache_clear(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(
+            ["farm", "run", "--width", "3", "--height", "3", "--cycles", "30",
+             "--workers", "1", "--cache", cache]
+        ) == 0
+        assert main(["farm", "cache", "--cache", cache, "--clear"]) == 0
+        assert "cleared 1 cache entries" in capsys.readouterr().out
+
+    def test_farm_smoke_self_check(self, capsys):
+        assert main(["farm", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "farm smoke: OK" in out

@@ -541,3 +541,124 @@ class TestPipelineSmoke:
         assert engine.cycle >= 64  # measured cycles plus drain
         assert prof.wall_seconds > 0
         assert set(prof.rings) == {"g2l", "l2s", "s2r", "r2a"}
+
+
+class TestAbortCleanup:
+    """Aborting mid-stream — KeyboardInterrupt, watchdog, overload —
+    must join every stage thread and release every shared-memory ring.
+    The conftest leak fixture re-checks both after each test; these
+    tests make the abort paths explicit."""
+
+    def _interrupt_after(self, monkeypatch, n_chunks):
+        calls = []
+        original = SimulateStage.process
+
+        def bomb(stage, item):
+            calls.append(item)
+            if len(calls) == n_chunks:
+                raise KeyboardInterrupt("operator hit ctrl-c")
+            return original(stage, item)
+
+        monkeypatch.setattr(SimulateStage, "process", bomb)
+
+    def test_keyboard_interrupt_mid_stream_joins_all_stages(self, monkeypatch):
+        self._interrupt_after(monkeypatch, n_chunks=2)
+        net = small_net()
+        be, _ = make_traffic(net)
+        engine = SequentialEngine(net)
+        with pytest.raises(KeyboardInterrupt):
+            run_pipeline(engine, [(be, None)], 300, chunk=32, ring_timeout=10.0)
+        leaked = [
+            t.name
+            for t in threading.enumerate()
+            if t.name.startswith("repro-pipeline-") and t.is_alive()
+        ]
+        assert leaked == []
+
+    def test_keyboard_interrupt_with_shm_transport_closes_ring(self, monkeypatch):
+        from repro.pipeline.shm import OPEN_RINGS
+
+        self._interrupt_after(monkeypatch, n_chunks=2)
+        net = small_net()
+        be, _ = make_traffic(net)
+        engine = SequentialEngine(net)
+        with pytest.raises(KeyboardInterrupt):
+            run_pipeline(
+                engine, [(be, None)], 300, chunk=32, ring_timeout=10.0,
+                transport="shm",
+            )
+        assert not list(OPEN_RINGS)
+
+    def test_overload_abort_with_shm_transport_closes_ring(self):
+        from repro.pipeline.shm import OPEN_RINGS
+
+        net = small_net(queue_depth=1)
+        be = BernoulliBeTraffic(net, 0.95, uniform_random(net), seed=1)
+        engine = SequentialEngine(net)
+        with pytest.raises(NetworkOverloadError):
+            run_pipeline(
+                engine, [(be, None)], 2000, chunk=64, stall_limit=50,
+                ring_timeout=10.0, transport="shm",
+            )
+        assert not list(OPEN_RINGS)
+
+
+class TestShmLifecycle:
+    """Satellite of the robustness PR: shared-memory segments must not
+    outlive the interpreter, however it exits."""
+
+    def _ring(self):
+        from repro.pipeline.shm import ShmArrayRing, ShmUnavailableError
+
+        try:
+            return ShmArrayRing("lifecycle-test", slots=2, slot_words=16)
+        except ShmUnavailableError:
+            pytest.skip("shared memory unavailable on this platform")
+
+    def test_atexit_sweep_closes_registered_rings(self):
+        from repro.pipeline.shm import OPEN_RINGS, _close_open_rings
+
+        ring = self._ring()
+        assert ring in OPEN_RINGS
+        _close_open_rings()
+        assert ring.closed
+        assert ring not in OPEN_RINGS
+
+    def test_double_close_is_idempotent(self):
+        ring = self._ring()
+        ring.close()
+        ring.close()  # second close must be a no-op
+        assert ring.closed
+
+    def test_abnormal_exit_leaves_no_leaked_segments(self, tmp_path):
+        """An interpreter that dies without closing its ring must not
+        trip the resource tracker's leaked-shared-memory warning: the
+        atexit sweep unlinks the segment first."""
+        import os
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.pipeline.shm import ShmArrayRing, ShmUnavailableError\n"
+            "try:\n"
+            "    ring = ShmArrayRing('exit-test', slots=2, slot_words=16)\n"
+            "except ShmUnavailableError:\n"
+            "    print('SKIP')\n"
+            "    raise SystemExit(0)\n"
+            "print(ring.segment_name())\n"
+            "# exit *without* closing: the atexit hook must clean up\n"
+        )
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(src)
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, timeout=60, env=env,
+        )
+        assert result.returncode == 0
+        name = result.stdout.strip().splitlines()[-1]
+        if name == "SKIP":
+            pytest.skip("shared memory unavailable on this platform")
+        assert "leaked shared_memory" not in result.stderr
+        if os.path.isdir("/dev/shm"):
+            assert not os.path.exists(os.path.join("/dev/shm", name.lstrip("/")))
