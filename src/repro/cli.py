@@ -102,8 +102,32 @@ def cmd_simulate(args) -> int:
         return 1
 
 
+def _report_kernel(engine) -> None:
+    """One line naming the execution body actually in use (satellite:
+    degrade visibly, never silently)."""
+    kernel = getattr(engine, "kernel", None)
+    if kernel is not None:  # batch engine
+        line = f"kernel: {kernel}"
+        reason = getattr(engine, "kernel_reason", None)
+        if reason:
+            line += f" ({reason})"
+        print(line)
+    elif hasattr(engine, "levelizer"):  # levelized sequential
+        if engine.levelizer is None:
+            print(f"kernel: dynamic worklist ({engine.schedule_fallback})")
+        elif engine._body is None:
+            print("kernel: interpreted static schedule (shape not specializable)")
+        else:
+            print(
+                "kernel: levelized fused body "
+                f"({len(engine.levelizer.schedule)} nodes, "
+                f"{engine.levelizer.schedule.depth} levels)"
+            )
+
+
 def _cmd_simulate(args) -> int:
     from repro.engines import make_engine
+    from repro.kernels import KernelUnavailableError
     from repro.stats import PacketLatencyTracker, ThroughputStats
     from repro.traffic import BernoulliBeTraffic, TrafficDriver, uniform_random
 
@@ -117,7 +141,15 @@ def _cmd_simulate(args) -> int:
         kwargs["scheduler"] = args.scheduler
     if args.engine == "batch":
         kwargs["lanes"] = lanes
-    engine = make_engine(args.engine, net, **kwargs)
+    kernel = getattr(args, "kernel", "auto")
+    if kernel != "auto":
+        kwargs["kernel"] = kernel
+    try:
+        engine = make_engine(args.engine, net, **kwargs)
+    except (ValueError, KernelUnavailableError) as exc:
+        print(f"--kernel {kernel}: {exc}", file=sys.stderr)
+        return 2
+    _report_kernel(engine)
     if getattr(args, "stream", False):
         return _simulate_streamed(args, net, engine, lanes)
     if args.engine == "batch" and lanes > 1:
@@ -476,6 +508,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--scheduler", choices=["worklist", "roundrobin"], default=None,
         help="delta-cycle scheduler (sequential engine only)",
+    )
+    p.add_argument(
+        "--kernel",
+        choices=["auto", "python", "levelized", "jit"],
+        default="auto",
+        help="execution body: python forces the reference path, "
+        "levelized the static-schedule fused body (sequential engine), "
+        "jit the generated-C batch kernel (batch engine); auto picks "
+        "the best available tier",
     )
     p.add_argument(
         "--stream", action="store_true",

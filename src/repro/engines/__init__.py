@@ -19,7 +19,7 @@ from repro.engines.base import EngineInfo, lane_views, list_engines, make_engine
 from repro.engines.batch import BatchEngine, BatchLane, drain_batched, run_batched
 from repro.engines.cycle import CycleEngine
 from repro.engines.rtl import RtlEngine
-from repro.engines.sequential import SequentialEngine
+from repro.engines.sequential import LevelizedSequentialEngine, SequentialEngine
 from repro.engines.equivalence import EquivalenceReport, run_lockstep
 
 __all__ = [
@@ -28,6 +28,7 @@ __all__ = [
     "CycleEngine",
     "EngineInfo",
     "EquivalenceReport",
+    "LevelizedSequentialEngine",
     "RtlEngine",
     "SequentialEngine",
     "drain_batched",

@@ -100,8 +100,40 @@ def list_engines() -> List[EngineInfo]:
 
 
 def make_engine(name: str, cfg: NetworkConfig, **kwargs) -> "Engine":
-    """Instantiate an engine by registry name."""
+    """Instantiate an engine by registry name.
+
+    ``kernel`` selects the execution body where the engine has more than
+    one (``repro simulate --kernel``): ``auto`` (default) lets each
+    engine pick its best available tier, ``python`` forces the reference
+    interpreter/NumPy path, ``levelized`` swaps the sequential engine
+    for its static-levelized compiled variant, and ``jit`` requires the
+    generated-C batch kernel (raising
+    :class:`~repro.kernels.KernelUnavailableError` when no JIT tier can
+    run).
+    """
     registry = _registry()
     if name not in registry:
         raise KeyError(f"unknown engine {name!r}; known: {sorted(registry)}")
-    return registry[name].factory(cfg, **kwargs)
+    kernel = kwargs.pop("kernel", "auto")
+    factory = registry[name].factory
+    if name == "batch":
+        if kernel not in ("auto", "python", "jit"):
+            raise ValueError(
+                f"engine 'batch' supports kernel auto|python|jit (got {kernel!r})"
+            )
+        kwargs["kernel"] = kernel
+    elif name == "sequential":
+        if kernel == "levelized":
+            from repro.engines.sequential import LevelizedSequentialEngine
+
+            factory = LevelizedSequentialEngine
+        elif kernel not in ("auto", "python"):
+            raise ValueError(
+                "engine 'sequential' supports kernel auto|python|levelized "
+                f"(got {kernel!r})"
+            )
+    elif kernel not in ("auto", "python"):
+        raise ValueError(
+            f"engine {name!r} supports only kernel auto|python (got {kernel!r})"
+        )
+    return factory(cfg, **kwargs)

@@ -153,6 +153,7 @@ class BatchEngine:
         cfg: NetworkConfig,
         routing: Optional[RoutingTable] = None,
         lanes: int = 1,
+        kernel: str = "auto",
     ) -> None:
         self.cfg = cfg
         self.lanes = lanes
@@ -224,6 +225,34 @@ class BatchEngine:
         self._zeros_br = np.zeros((B, n), dtype=np.int64)
         self._neg1_br = np.full((B, n), -1, dtype=np.int64)
 
+        # -- kernel selection (the repro.kernels backend ladder) -----------
+        #: execution body actually in use: "jit" (generated C) or
+        #: "python" (the NumPy sweeps); benches report this.
+        self.kernel = "python"
+        #: why the JIT tier was declined, when it was ("auto" mode only).
+        self.kernel_reason: Optional[str] = None
+        self._compiled = None
+        if kernel not in ("auto", "python", "jit"):
+            raise ValueError(
+                f"unknown kernel {kernel!r}; known: auto|python|jit"
+            )
+        if kernel != "python":
+            from repro.kernels import KernelUnavailableError, select_backend
+
+            try:
+                backend = select_backend("jit" if kernel == "jit" else None)
+                if backend == "cffi":
+                    from repro.kernels.batchstep import CompiledBatchStep
+
+                    self._compiled = CompiledBatchStep(self)
+                    self.kernel = "jit"
+                else:
+                    self.kernel_reason = "backend ladder selected numpy"
+            except KernelUnavailableError as exc:
+                if kernel == "jit":
+                    raise
+                self.kernel_reason = str(exc)
+
     # -- traffic-side API ---------------------------------------------------
     def lane(self, lane: int) -> BatchLane:
         """A view of one lane for traffic drivers and trackers."""
@@ -288,6 +317,11 @@ class BatchEngine:
     def step(self) -> None:
         for hook in self.pre_step_hooks:
             hook(self)
+        if self._compiled is not None:
+            self._compiled.step()
+            self.metrics.record_cycle(self.SWEEPS_PER_CYCLE * self.cfg.n_routers)
+            self.cycle += 1
+            return
         S = self.state
         B, R = self.lanes, self.cfg.n_routers
         P, V, NQ = self._P, self._V, self._NQ
@@ -603,7 +637,29 @@ def run_batched(engine: BatchEngine, drivers: Sequence, cycles: int) -> None:
     ``generate(cycle)`` / ``pump()``).  Per cycle this performs exactly
     what ``TrafficDriver.step`` does per lane — generate, pump, step —
     except the step advances all lanes at once.
+
+    When the engine runs the jit tier, every driver is a plain
+    Bernoulli-BE/uniform-random stream, and the generated-C tier is
+    available, the per-lane generate calls are replaced by one C scan
+    per cycle (:func:`repro.kernels.trafficgen.batched_be_generator`) —
+    a pure reordering of independent per-lane work, bit-identical per
+    lane.  A ``kernel="python"`` engine keeps the all-Python reference
+    path end to end.
     """
+    from repro.kernels.trafficgen import batched_be_generator
+
+    generator = (
+        batched_be_generator(drivers)
+        if getattr(engine, "kernel", None) == "jit"
+        else None
+    )
+    if generator is not None:
+        for _ in range(cycles):
+            generator.generate(engine.cycle)
+            for driver in drivers:
+                driver.pump()
+            engine.step()
+        return
     for _ in range(cycles):
         cycle = engine.cycle
         for driver in drivers:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.seqsim.levelized import LevelizedSequentialNetwork
 from repro.seqsim.sequential import SequentialNetwork, StaticSequentialNetwork
 
 
@@ -15,3 +16,11 @@ class StaticScheduleEngine(StaticSequentialNetwork):
     """Static-schedule ablation (3 sweeps per system cycle)."""
 
     name = "sequential-static"
+
+
+class LevelizedSequentialEngine(LevelizedSequentialNetwork):
+    """Levelized static schedule with a generated fused step body
+    (``--kernel levelized``); falls back to the dynamic scheduler on
+    wire faults or combinational cycles."""
+
+    name = "sequential-levelized"

@@ -71,10 +71,19 @@ class BenchPoint:
     overlap_efficiency: Optional[float] = None
     serial_sweep_seconds: Optional[float] = None
     speedup_vs_serial: Optional[float] = None
+    #: execution body the engine actually ran (kernel rows): "jit",
+    #: "python", "levelized" — the satellite requirement that the bench
+    #: reports the backend in use rather than assuming one.
+    backend: Optional[str] = None
 
 
 def _engine_factories():
-    from repro.engines import CycleEngine, RtlEngine, SequentialEngine
+    from repro.engines import (
+        CycleEngine,
+        LevelizedSequentialEngine,
+        RtlEngine,
+        SequentialEngine,
+    )
     from repro.seqsim.sequential import SequentialNetwork
 
     def sequential_baseline(net):
@@ -89,12 +98,37 @@ def _engine_factories():
             "reference delta loop (no scheduler/memo optimisations)",
             1,
         ),
+        "sequential-levelized": (
+            LevelizedSequentialEngine,
+            "levelized static schedule, generated fused body",
+            1,
+        ),
         "batch": (
             None,  # measured by _run_once_batched, not _run_once
             f"batched FPGA lanes ({BATCH_LANES} instances side by side)",
             1,
         ),
+        "batch-jit": (
+            None,  # measured by _run_once_batched(kernel="jit")
+            f"batched FPGA lanes ({BATCH_LANES} lanes, generated-C kernel)",
+            1,
+        ),
     }
+
+
+def _backend_of(engine) -> Optional[str]:
+    """The execution body an engine instance actually ran."""
+    kernel = getattr(engine, "kernel", None)
+    if kernel is not None:  # batch engine
+        reason = getattr(engine, "kernel_reason", None)
+        return f"{kernel} ({reason})" if reason else kernel
+    if hasattr(engine, "levelizer"):  # levelized sequential
+        if engine.levelizer is None:
+            return f"worklist fallback ({engine.schedule_fallback})"
+        if engine._body is None:
+            return "interpreted static schedule"
+        return "levelized fused body"
+    return None
 
 
 def _run_once(factory, cycles: int) -> float:
@@ -113,16 +147,20 @@ def _run_once(factory, cycles: int) -> float:
     return elapsed
 
 
-def _run_once_batched(cycles: int, lanes: int = BATCH_LANES) -> float:
+def _run_once_batched(
+    cycles: int, lanes: int = BATCH_LANES, kernel: str = "python"
+) -> float:
     """Seconds for one batched construction + run: ``lanes`` independent
     copies of the Table-3 workload (seeds ``SEED .. SEED+lanes-1``)
-    advanced side by side."""
+    advanced side by side.  ``kernel`` pins the execution body so the
+    ``batch`` and ``batch-jit`` rows stay comparable across machines
+    whatever tier ``auto`` would pick."""
     from repro.engines import BatchEngine, run_batched
     from repro.traffic import BernoulliBeTraffic, TrafficDriver, uniform_random
 
     start = time.perf_counter()
     net = fig1_network()
-    engine = BatchEngine(net, lanes=lanes)
+    engine = BatchEngine(net, lanes=lanes, kernel=kernel)
     drivers = [
         TrafficDriver(
             engine.lane(i),
@@ -209,17 +247,19 @@ def measure(
         return _measure_pipeline(cycles, rounds)
     factory, analogue, div = _engine_factories()[name]
     cycles = max(20, (cycles if cycles is not None else scale(300)) // div)
-    if name == "batch":
-        _run_once_batched(min(cycles, 20), lanes)  # warmup
+    batched = name in ("batch", "batch-jit")
+    if batched:
+        kernel = "jit" if name == "batch-jit" else "python"
+        _run_once_batched(min(cycles, 20), lanes, kernel)  # warmup
         seconds = min(
-            _run_once_batched(cycles, lanes) for _ in range(max(1, rounds))
+            _run_once_batched(cycles, lanes, kernel)
+            for _ in range(max(1, rounds))
         )
     else:
         _run_once(factory, min(cycles, 20))  # warmup: imports, code caches
         seconds = min(_run_once(factory, cycles) for _ in range(max(1, rounds)))
     engine = _run_once.last_engine
     metrics = getattr(engine, "metrics", None)
-    batched = name == "batch"
     return BenchPoint(
         name=name,
         paper_analogue=analogue,
@@ -234,6 +274,7 @@ def measure(
         ),
         lanes=lanes if batched else None,
         per_lane_cps=round(cycles / seconds, 1) if batched else None,
+        backend=_backend_of(engine),
     )
 
 
@@ -244,7 +285,9 @@ def run(
         "cycle",
         "sequential",
         "sequential-baseline",
+        "sequential-levelized",
         "batch",
+        "batch-jit",
         "pipeline",
     ),
     rounds: int = 3,
@@ -256,16 +299,27 @@ def run(
     ``smoke=True`` shrinks everything to a single short round (and a
     short pipeline warm-up) — a seconds-scale health check of every
     measurement path, not a number worth writing to the artifact.
+
+    A kernel row whose backend is unavailable on this machine (no cffi,
+    no C compiler) is skipped with its reason recorded under
+    ``kernels.skipped`` — the bench degrades, it does not fail.
     """
+    from repro.kernels import KernelUnavailableError, kernel_versions, probe_backends
+
     if smoke:
         cycles = 40 if cycles is None else min(cycles, 40)
         rounds = 1
-    points: List[BenchPoint] = [
-        _measure_pipeline(cycles, rounds, warmup=60)
-        if smoke and name == "pipeline"
-        else measure(name, cycles, rounds, lanes)
-        for name in engines
-    ]
+    points: List[BenchPoint] = []
+    skipped: Dict[str, str] = {}
+    for name in engines:
+        try:
+            points.append(
+                _measure_pipeline(cycles, rounds, warmup=60)
+                if smoke and name == "pipeline"
+                else measure(name, cycles, rounds, lanes)
+            )
+        except KernelUnavailableError as exc:
+            skipped[name] = str(exc)
     by_name = {p.name: p for p in points}
     doc: Dict = {
         "benchmark": "table3_engine_speed",
@@ -277,6 +331,11 @@ def run(
             f"{rounds} rounds after warmup",
         },
         "engines": {p.name: asdict(p) for p in points},
+        "kernels": {
+            "backends": probe_backends(),
+            "versions": kernel_versions(),
+            "skipped": skipped,
+        },
     }
     seq = by_name.get("sequential")
     base = by_name.get("sequential-baseline")
@@ -292,6 +351,13 @@ def run(
         batch = by_name.get("batch")
         if batch is not None:
             doc["speedup_batch_vs_sequential"] = round(batch.cps / seq.cps, 2)
+    lev = by_name.get("sequential-levelized")
+    if lev is not None and base is not None:
+        doc["speedup_levelized_vs_fixed_point"] = round(lev.cps / base.cps, 2)
+    jit = by_name.get("batch-jit")
+    batch = by_name.get("batch")
+    if jit is not None and batch is not None:
+        doc["speedup_batch_jit_vs_batch"] = round(jit.cps / batch.cps, 2)
     return doc
 
 
@@ -304,11 +370,12 @@ def render(doc: Dict) -> str:
             f"{p['seconds']:.3f}",
             f"{p['cps']:,.0f}",
             p["total_deltas"] if p["total_deltas"] is not None else "-",
+            p.get("backend") or "-",
         )
         for p in doc["engines"].values()
     ]
     out = render_table(
-        ["engine", "lanes", "cycles", "seconds", "cycles/s", "deltas"],
+        ["engine", "lanes", "cycles", "seconds", "cycles/s", "deltas", "backend"],
         rows,
         title="Table 3 benchmark — simulated cycles per second",
     )
@@ -329,6 +396,16 @@ def render(doc: Dict) -> str:
             f"{doc['speedup_batch_vs_sequential']:.2f}x aggregate "
             f"({batch['per_lane_cps']:,.0f} cycles/s per lane)"
         )
+    if "speedup_levelized_vs_fixed_point" in doc:
+        out += (
+            "\nlevelized fused body vs fixed-point reference loop: "
+            f"{doc['speedup_levelized_vs_fixed_point']:.2f}x"
+        )
+    if "speedup_batch_jit_vs_batch" in doc:
+        out += (
+            "\nbatch generated-C kernel vs batch NumPy: "
+            f"{doc['speedup_batch_jit_vs_batch']:.2f}x aggregate"
+        )
     pipe = doc["engines"].get("pipeline")
     if pipe and pipe.get("speedup_vs_serial") is not None:
         out += (
@@ -336,6 +413,9 @@ def render(doc: Dict) -> str:
             f"per-point sweep: {pipe['speedup_vs_serial']:.2f}x end-to-end "
             f"(overlap efficiency {pipe['overlap_efficiency']:.2f})"
         )
+    skipped = (doc.get("kernels") or {}).get("skipped") or {}
+    for name, reason in skipped.items():
+        out += f"\nskipped {name}: {reason}"
     return out
 
 

@@ -1,0 +1,101 @@
+"""Levelized sequential simulation: static schedule + compiled body.
+
+:class:`LevelizedSequentialNetwork` is the compiled-kernel tier of the
+sequential simulator family.  At construction it levelizes the
+network's combinational dependency graph
+(:func:`repro.kernels.levelize.levelize` over
+:meth:`~repro.noc.topology.Topology.signal_graph`) and generates a
+fused Python body for the resulting three-sweep schedule
+(:func:`repro.kernels.seqbody.compile_levelized_body`) — every wire id
+and unit order baked in as literals, one function call per system
+cycle.
+
+Fallback ladder, decided per cycle:
+
+* **fused body** — fault-free cycles of a specializable (unpacked,
+  kind-homogeneous) network: the generated function, then one commit.
+* **interpreted static sweep** — specialization declined (packed mode,
+  unexpected graph shape) but the schedule is valid:
+  :meth:`StaticSequentialNetwork.step`.
+* **dynamic worklist** — the levelizer found a combinational cycle
+  (:class:`~repro.kernels.levelize.CyclicDependencyError`, recorded in
+  ``schedule_fallback``) or any wire fault is installed:
+  :meth:`SequentialNetwork.step`, whose delta-cycle fixed point and
+  convergence watchdog handle what a static schedule cannot.  Wire
+  faults are permanent in this simulator, so a network falls back at
+  the first faulted cycle and stays there — and the identity-keyed
+  memos the dynamic path uses remain valid because the fused body never
+  touches them.
+
+All three paths are bit-identical on the cycles where they are legal;
+the lockstep suite drives them against each other.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernels.levelize import (
+    CyclicDependencyError,
+    LevelizedScheduler,
+    levelize,
+)
+from repro.kernels.seqbody import compile_levelized_body
+from repro.seqsim.sequential import SequentialNetwork, StaticSequentialNetwork
+
+__all__ = ["LevelizedSequentialNetwork"]
+
+
+class LevelizedSequentialNetwork(StaticSequentialNetwork):
+    """Static-levelized sequential simulator with a compiled fused body."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: why the levelizer was rejected (None when it is in use).
+        self.schedule_fallback: Optional[str] = None
+        self.levelizer: Optional[LevelizedScheduler] = None
+        try:
+            self.levelizer = LevelizedScheduler(levelize(self.cfg))
+        except CyclicDependencyError as exc:
+            self.schedule_fallback = str(exc)
+        self._body = None
+        self.kernel_source: Optional[str] = None
+        #: idle signatures for the fused body's activity skip (see
+        #: repro.kernels.seqbody) — identity-keyed and touch-stamp
+        #: guarded, so entries can only go stale through offer(), which
+        #: clears them below.
+        self._lvl_sig: list = [None] * self.cfg.n_routers
+        if self.levelizer is not None:
+            self._body, self.kernel_source = compile_levelized_body(self)
+            self._static_deltas = self.levelizer.deltas_per_cycle
+
+    def offer(self, router: int, vc: int, flit) -> bool:
+        # offer() mutates the stimuli state in place; the identity keys
+        # in the idle signature cannot see that, so drop it explicitly
+        # (the dynamic path does the same for _eval_sig).
+        self._lvl_sig[router] = None
+        return super().offer(router, vc, flit)
+
+    def step(self) -> None:
+        # Hooks run exactly once, here — they may install the very wire
+        # faults the dispatch below must observe, and the parent step()
+        # methods would otherwise re-run them.
+        hooks = self.pre_step_hooks
+        for hook in hooks:
+            hook(self)
+        self.pre_step_hooks = []
+        try:
+            if self.levelizer is None or not self.links.fault_free:
+                # No valid schedule, or faulted wires: the single-pass
+                # argument is void — the dynamic fixed point (with its
+                # watchdog and livelock detection) is the only correct
+                # evaluator.
+                SequentialNetwork.step(self)
+            elif self._body is None:
+                StaticSequentialNetwork.step(self)
+            else:
+                self._events = [None] * self.cfg.n_routers
+                self._body(self)
+                self._commit(self._static_deltas)
+        finally:
+            self.pre_step_hooks = hooks

@@ -34,6 +34,9 @@ def uniform_random(net: NetworkConfig) -> DestinationPattern:
         dest = rng.next_below(net.n_routers - 1)
         return dest if dest < src else dest + 1
 
+    # Declared draw bound: lets the batched traffic kernel recognise this
+    # pattern and reproduce its exact RNG word sequence in C.
+    pick.uniform_bound = net.n_routers - 1
     return pick
 
 

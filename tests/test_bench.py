@@ -49,17 +49,31 @@ class TestBenchDocument:
         )
         assert rc == 0
         doc = json.loads(out.read_text())
-        assert set(doc["engines"]) == {
+        expected = {
             "rtl",
             "cycle",
             "sequential",
             "sequential-baseline",
+            "sequential-levelized",
             "batch",
             "pipeline",
         }
+        # The jit row is present exactly when a compiled backend exists
+        # on this machine; otherwise it is skipped with a reason.
+        if "batch-jit" in doc["engines"]:
+            expected.add("batch-jit")
+            assert doc["engines"]["batch-jit"]["backend"] == "jit"
+            assert doc["speedup_batch_jit_vs_batch"] > 0
+        else:
+            assert "batch-jit" in doc["kernels"]["skipped"]
+        assert set(doc["engines"]) == expected
+        assert doc["kernels"]["backends"]["numpy"] == "ok"
         batch = doc["engines"]["batch"]
         assert batch["lanes"] == bench.BATCH_LANES
         assert batch["per_lane_cps"] > 0
+        assert batch["backend"] == "python"
+        assert doc["engines"]["sequential-levelized"]["backend"] is not None
+        assert doc["speedup_levelized_vs_fixed_point"] > 0
         assert doc["speedup_batch_vs_sequential"] > 0
         pipe = doc["engines"]["pipeline"]
         assert pipe["lanes"] == len(bench.PIPELINE_LOADS)
@@ -115,6 +129,35 @@ class TestBenchDocument:
             batch["lanes"] * batch["cycles"] / batch["seconds"]
         )
         assert doc["speedup_batch_vs_sequential"] >= 3.0
+
+    @pytest.mark.kernel_smoke
+    def test_committed_kernel_row_floors(self):
+        """Acceptance floors on the recorded compiled-kernel speedups.
+
+        The levelized fused body must have beaten the fixed-point
+        reference loop by >= 1.5x on the bench config, and at least one
+        engine/kernel pair must have recorded a >= 2x aggregate win
+        (the batch generated-C kernel over the NumPy sweeps).
+        """
+        path = os.path.join(REPO_ROOT, "BENCH_table3.json")
+        if not os.path.exists(path):
+            pytest.skip("no committed BENCH_table3.json to validate")
+        with open(path) as stream:
+            doc = json.load(stream)
+        if "sequential-levelized" not in doc["engines"]:
+            pytest.skip("committed benchmark predates the kernel rows")
+        lev = doc["engines"]["sequential-levelized"]
+        assert lev["backend"] == "levelized fused body"
+        assert doc["speedup_levelized_vs_fixed_point"] >= 1.5
+        # the recorded 2x+ engine/kernel pair of the acceptance criteria
+        if "batch-jit" in doc["engines"]:
+            assert doc["engines"]["batch-jit"]["backend"] == "jit"
+            assert doc["speedup_batch_jit_vs_batch"] >= 2.0
+        else:
+            assert doc["speedup_levelized_vs_fixed_point"] >= 2.0, (
+                "no jit row recorded: the levelized row alone must then "
+                "carry the 2x acceptance floor"
+            )
 
     def test_committed_pipeline_row_floors(self):
         """Acceptance floor on the recorded streamed-sweep speedup.
