@@ -125,34 +125,93 @@ def _report_kernel(engine) -> None:
             )
 
 
+def _available_memory_bytes() -> Optional[int]:
+    """Bytes of memory available right now, or None where unknowable."""
+    try:
+        with open("/proc/meminfo") as stream:
+            for line in stream:
+                if line.startswith("MemAvailable:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    return None
+
+
 def _cmd_simulate(args) -> int:
     from repro.engines import make_engine
     from repro.kernels import KernelUnavailableError
-    from repro.stats import PacketLatencyTracker, ThroughputStats
-    from repro.traffic import BernoulliBeTraffic, TrafficDriver, uniform_random
+    from repro.seqsim.arraystate import estimate_bytes
 
     net = _network_from(args)
     lanes = getattr(args, "lanes", 1)
     if lanes > 1 and args.engine != "batch":
         print("--lanes requires --engine batch", file=sys.stderr)
         return 2
+    partitions = getattr(args, "partitions", 0) or 0
+    engine_name = args.engine
+    if partitions > 1 and engine_name == "sequential":
+        engine_name = "partitioned"  # --partitions implies the engine
+    if partitions > 1 and engine_name != "partitioned":
+        print(
+            f"--partitions requires --engine partitioned (got {args.engine})",
+            file=sys.stderr,
+        )
+        return 2
     kwargs = {}
-    if args.engine == "sequential" and args.scheduler:
+    if engine_name in ("sequential", "partitioned") and args.scheduler:
         kwargs["scheduler"] = args.scheduler
-    if args.engine == "batch":
+    if engine_name == "batch":
         kwargs["lanes"] = lanes
+        # Fail with a plan before numpy fails with an opaque MemoryError.
+        need = estimate_bytes(net, lanes)
+        have = _available_memory_bytes()
+        if have is not None and need > have:
+            print(
+                f"packed state for {lanes} lane(s) of a "
+                f"{net.width}x{net.height} network needs ~{need:,} bytes "
+                f"but only ~{have:,} are available; reduce --lanes or "
+                "shard the network with --partitions",
+                file=sys.stderr,
+            )
+            return 2
+    if engine_name == "partitioned":
+        kwargs["partitions"] = partitions if partitions > 1 else 2
+        kwargs["transport"] = getattr(args, "transport", "local")
+        kwargs["link_latency"] = getattr(args, "link_latency", 0)
     kernel = getattr(args, "kernel", "auto")
     if kernel != "auto":
         kwargs["kernel"] = kernel
     try:
-        engine = make_engine(args.engine, net, **kwargs)
-    except (ValueError, KernelUnavailableError) as exc:
+        engine = make_engine(engine_name, net, **kwargs)
+    except KernelUnavailableError as exc:
         print(f"--kernel {kernel}: {exc}", file=sys.stderr)
         return 2
+    except ValueError as exc:
+        if engine_name == "partitioned":
+            # e.g. K does not tile the fabric; the message names valid Ks.
+            print(str(exc), file=sys.stderr)
+        else:
+            print(f"--kernel {kernel}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        return _drive_simulate(args, net, engine, lanes, engine_name)
+    finally:
+        close = getattr(engine, "close", None)
+        if callable(close):
+            close()
+
+
+def _drive_simulate(args, net, engine, lanes: int, engine_name: str) -> int:
+    from repro.stats import PacketLatencyTracker, ThroughputStats
+    from repro.traffic import BernoulliBeTraffic, TrafficDriver, uniform_random
+
     _report_kernel(engine)
+    layout = getattr(engine, "layout_line", None)
+    if callable(layout):  # partitioned engine
+        print(layout())
     if getattr(args, "stream", False):
         return _simulate_streamed(args, net, engine, lanes)
-    if args.engine == "batch" and lanes > 1:
+    if engine_name == "batch" and lanes > 1:
         return _simulate_batched(args, net, engine, lanes)
     be = BernoulliBeTraffic(net, args.load, uniform_random(net), seed=args.seed)
     driver = TrafficDriver(engine, be=be)
@@ -167,7 +226,7 @@ def _cmd_simulate(args) -> int:
     throughput = ThroughputStats.from_engine(engine)
     stats = tracker.stats()
     print(
-        f"{args.engine} engine: {engine.cycle} cycles in {elapsed:.2f} s "
+        f"{engine_name} engine: {engine.cycle} cycles in {elapsed:.2f} s "
         f"({engine.cycle / elapsed:,.0f} simulated cycles/s)"
     )
     print(
@@ -495,7 +554,7 @@ def build_parser() -> argparse.ArgumentParser:
     _network_args(p)
     p.add_argument(
         "--engine",
-        choices=["rtl", "cycle", "sequential", "batch"],
+        choices=["rtl", "cycle", "sequential", "batch", "partitioned"],
         default="sequential",
     )
     p.add_argument("--load", type=float, default=0.08)
@@ -504,6 +563,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--lanes", type=int, default=1,
         help="independent simulations run side by side (batch engine only)",
+    )
+    p.add_argument(
+        "--partitions", type=int, default=0,
+        help="shard ONE simulation across K tile workers joined by a "
+        "boundary switch (implies --engine partitioned)",
+    )
+    p.add_argument(
+        "--transport", choices=["local", "process"], default="local",
+        help="partitioned engine: run tiles in-process (deterministic "
+        "reference) or one OS process each (parallel speedup)",
+    )
+    p.add_argument(
+        "--link-latency", type=int, default=0,
+        help="partitioned engine: model L-cycle inter-tile channels "
+        "(0 = exact, bit-identical to monolithic)",
     )
     p.add_argument(
         "--scheduler", choices=["worklist", "roundrobin"], default=None,

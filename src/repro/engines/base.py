@@ -50,6 +50,7 @@ def _registry() -> Dict[str, EngineInfo]:
     from repro.engines.cycle import CycleEngine
     from repro.engines.rtl import RtlEngine
     from repro.engines.sequential import SequentialEngine
+    from repro.partition import PartitionedEngine
 
     return {
         "rtl": EngineInfo(
@@ -75,6 +76,12 @@ def _registry() -> Dict[str, EngineInfo]:
             "vectorized bulk-synchronous array sweeps, lane-parallel seeds",
             "batched FPGA lanes (one instance per independent run)",
             BatchEngine,
+        ),
+        "partitioned": EngineInfo(
+            "partitioned",
+            "one NoC sharded across tile workers behind a boundary switch",
+            "multi-FPGA partitioning (one fabric per tile, switched links)",
+            PartitionedEngine,
         ),
     }
 

@@ -47,6 +47,17 @@ PIPELINE_LOADS = (0.0, 0.02, 0.04, 0.06, 0.08, 0.10, 0.12, 0.14)
 #: warm-up cycles per fig1 point (one GT period — the sweep default).
 PIPELINE_WARMUP = 1300
 
+#: the partitioned rows' fabric edge: 16x16 is the largest network the
+#: flit header's 4-bit coordinates address (the paper's own limit, see
+#: DESIGN.md §13) — big enough for sharding to mean something, still
+#: monolithically simulable for the speedup baseline.
+PARTITION_EDGE = 16
+
+#: cycle divisor of the partitioned rows (the 16x16 fabric carries ~7x
+#: the routers of the 6x6 bench network; same role as the rtl row's 8,
+#: kept low enough that worker-process spawn amortises out of the rate).
+PARTITION_DIVISOR = 2
+
 
 @dataclass
 class BenchPoint:
@@ -75,6 +86,16 @@ class BenchPoint:
     #: "python", "levelized" — the satellite requirement that the bench
     #: reports the backend in use rather than assuming one.
     backend: Optional[str] = None
+    #: rows measured on a workload other than the 6x6 fig1 network
+    #: record which one (the partitioned rows run the 16x16 fabric).
+    network: Optional[str] = None
+    #: partitioned rows only: tile count, switch transport, the share of
+    #: step wall-clock spent in boundary synchronisation, and the mean
+    #: convergence rounds per system cycle.
+    partitions: Optional[int] = None
+    transport: Optional[str] = None
+    boundary_sync_fraction: Optional[float] = None
+    mean_boundary_rounds: Optional[float] = None
 
 
 def _engine_factories():
@@ -175,6 +196,100 @@ def _run_once_batched(
     return elapsed
 
 
+def partition_network():
+    """The partitioned rows' workload fabric: 16x16 torus, queue depth
+    2 — fig1's router in the biggest network its header can address."""
+    from repro.noc import NetworkConfig, RouterConfig
+
+    return NetworkConfig(
+        PARTITION_EDGE,
+        PARTITION_EDGE,
+        topology="torus",
+        router=RouterConfig(queue_depth=2),
+    )
+
+
+def _host_cores() -> int:
+    """CPU cores usable by this process — the context any parallel
+    speedup number is meaningless without."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _run_once_partition(factory, cycles: int) -> float:
+    """Seconds for one construction + run of the 16x16 workload (the
+    partitioned rows and their monolithic baseline)."""
+    from repro.traffic import BernoulliBeTraffic, TrafficDriver, uniform_random
+
+    start = time.perf_counter()
+    net = partition_network()
+    engine = factory(net)
+    be = BernoulliBeTraffic(net, LOAD, uniform_random(net), seed=SEED)
+    driver = TrafficDriver(engine, be=be)
+    driver.run(cycles)
+    elapsed = time.perf_counter() - start
+    assert engine.cycle == cycles
+    if hasattr(engine, "close"):
+        engine.close()  # teardown is deliberately outside the timed region
+    _run_once.last_engine = engine
+    return elapsed
+
+
+def _measure_partition(
+    name: str, cycles: Optional[int], rounds: int
+) -> BenchPoint:
+    """One 16x16 row: ``sequential-16x16`` (the monolithic reference)
+    or ``partitioned-K`` (K tiles behind the process boundary switch)."""
+    cycles = max(
+        20,
+        (cycles if cycles is not None else scale(300)) // PARTITION_DIVISOR,
+    )
+    if name == "sequential-16x16":
+        from repro.engines import SequentialEngine as factory
+
+        analogue = "one FPGA simulating the whole 16x16 fabric"
+        partitions = None
+    else:
+        partitions = int(name.rsplit("-", 1)[1])
+        analogue = (
+            f"multi-FPGA partitioning ({partitions} fabrics, switched links)"
+        )
+
+        def factory(net, k=partitions):
+            from repro.partition import PartitionedEngine
+
+            return PartitionedEngine(net, partitions=k, transport="process")
+
+    _run_once_partition(factory, min(cycles, 20))  # warmup
+    seconds = min(
+        _run_once_partition(factory, cycles) for _ in range(max(1, rounds))
+    )
+    engine = _run_once.last_engine
+    metrics = getattr(engine, "metrics", None)
+    point = BenchPoint(
+        name=name,
+        paper_analogue=analogue,
+        cycles=cycles,
+        seconds=seconds,
+        cps=cycles / seconds,
+        total_deltas=metrics.total_deltas if metrics else None,
+        mean_deltas_per_cycle=(
+            round(metrics.mean_deltas_per_cycle(), 3) if metrics else None
+        ),
+        network=f"{PARTITION_EDGE}x{PARTITION_EDGE} torus, queue depth 2",
+    )
+    if partitions is not None:
+        point.partitions = partitions
+        point.transport = engine.transport
+        point.boundary_sync_fraction = round(
+            engine.boundary_sync_fraction(), 3
+        )
+        point.mean_boundary_rounds = round(engine.mean_boundary_rounds(), 2)
+    return point
+
+
 def _run_sweep_serial(cycles: int, warmup: int) -> float:
     """Seconds for the strictly serial fig1 sweep: one point after the
     other on the sequential engine, classic monolithic driver loop."""
@@ -245,6 +360,8 @@ def measure(
     """Best-of-``rounds`` measurement of one engine (after one warmup)."""
     if name == "pipeline":
         return _measure_pipeline(cycles, rounds)
+    if name == "sequential-16x16" or name.startswith("partitioned-"):
+        return _measure_partition(name, cycles, rounds)
     factory, analogue, div = _engine_factories()[name]
     cycles = max(20, (cycles if cycles is not None else scale(300)) // div)
     batched = name in ("batch", "batch-jit")
@@ -289,6 +406,9 @@ def run(
         "batch",
         "batch-jit",
         "pipeline",
+        "sequential-16x16",
+        "partitioned-2",
+        "partitioned-4",
     ),
     rounds: int = 3,
     lanes: int = BATCH_LANES,
@@ -331,6 +451,7 @@ def run(
             f"{rounds} rounds after warmup",
         },
         "engines": {p.name: asdict(p) for p in points},
+        "host": {"cores": _host_cores()},
         "kernels": {
             "backends": probe_backends(),
             "versions": kernel_versions(),
@@ -358,6 +479,12 @@ def run(
     batch = by_name.get("batch")
     if jit is not None and batch is not None:
         doc["speedup_batch_jit_vs_batch"] = round(jit.cps / batch.cps, 2)
+    mono16 = by_name.get("sequential-16x16")
+    part4 = by_name.get("partitioned-4")
+    if mono16 is not None and part4 is not None:
+        doc["speedup_partitioned_vs_monolithic"] = round(
+            part4.cps / mono16.cps, 2
+        )
     return doc
 
 
@@ -405,6 +532,17 @@ def render(doc: Dict) -> str:
         out += (
             "\nbatch generated-C kernel vs batch NumPy: "
             f"{doc['speedup_batch_jit_vs_batch']:.2f}x aggregate"
+        )
+    if "speedup_partitioned_vs_monolithic" in doc:
+        part = doc["engines"].get("partitioned-4") or {}
+        cores = (doc.get("host") or {}).get("cores")
+        out += (
+            f"\npartitioned ({part.get('partitions')} tiles, "
+            f"{part.get('transport')}) vs monolithic 16x16: "
+            f"{doc['speedup_partitioned_vs_monolithic']:.2f}x"
+            f" (boundary sync {part.get('boundary_sync_fraction') or 0:.1%},"
+            f" {part.get('mean_boundary_rounds') or 0:.2f} rounds/cycle,"
+            f" {cores} host core{'s' if cores != 1 else ''})"
         )
     pipe = doc["engines"].get("pipeline")
     if pipe and pipe.get("speedup_vs_serial") is not None:

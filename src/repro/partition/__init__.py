@@ -1,0 +1,37 @@
+"""Partitioned large-network simulation.
+
+Shards one NoC across K tile workers — each an ownership-masked
+sequential simulator — connected through a software boundary switch that
+relays the cut wires' values, with a partition-aware delta-convergence
+protocol keeping the result bit-identical to the monolithic run (or,
+with ``link_latency >= 1``, a FireSim-style decoupled approximation).
+
+Public surface:
+
+* :func:`~repro.partition.tiles.grid_partition` /
+  :class:`~repro.partition.tiles.PartitionMap` — splitting the fabric;
+* :class:`~repro.partition.engine.PartitionedEngine` — the engine
+  (registered as ``partitioned`` in :mod:`repro.engines`);
+* :class:`~repro.partition.switch.BoundarySwitch` — the wire relay;
+* :class:`~repro.partition.worker.PartitionWorkerNetwork` — one tile;
+* :class:`~repro.partition.pool.ProcessWorkerPool` — process transport.
+"""
+
+from repro.partition.engine import PartitionedEngine, PartitionedEngineFactory
+from repro.partition.switch import BoundarySwitch
+from repro.partition.tiles import (
+    PartitionMap,
+    grid_partition,
+    valid_partition_counts,
+)
+from repro.partition.worker import PartitionWorkerNetwork
+
+__all__ = [
+    "BoundarySwitch",
+    "PartitionMap",
+    "PartitionWorkerNetwork",
+    "PartitionedEngine",
+    "PartitionedEngineFactory",
+    "grid_partition",
+    "valid_partition_counts",
+]

@@ -1,0 +1,134 @@
+"""The software boundary switch: relaying wire values between tiles.
+
+This is the software analogue of FireSim's ``switch.cc`` token relay and
+of fpgagraphlib's generated inter-FPGA connections: a crossbar over the
+cut wires, pairing each tile's *export* list (wires it drives whose
+readers live elsewhere) with the matching entries of other tiles'
+*import* lists, by wire name.
+
+Two service disciplines:
+
+* ``link_latency == 0`` (default, *exact*): values are relayed within
+  the system cycle, as many rounds as the delta-convergence protocol
+  needs — the partitioned run is bit-identical to the monolithic one.
+* ``link_latency == L >= 1`` (*decoupled*): each boundary wire behaves
+  like an L-cycle channel — a value exported at cycle ``c`` reaches its
+  reader at cycle ``c + L`` and each cycle runs exactly one convergence
+  round per tile.  This is the FireSim-style latency-insensitive
+  decoupling: far less synchronisation, but *not* bit-identical to the
+  monolithic zero-latency fabric (it simulates a different machine —
+  one with registered inter-tile channels).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.noc.config import NetworkConfig
+from repro.noc.topology import Topology
+from repro.partition.tiles import PartitionMap
+
+__all__ = ["BoundarySwitch"]
+
+
+def _reset_value(name: str, cfg: NetworkConfig) -> int:
+    # Mirrors SequentialNetwork reset: room wires offer full room,
+    # forward wires idle at 0.
+    if name.startswith("room:"):
+        return (1 << cfg.router.n_vcs) - 1
+    return 0
+
+
+class BoundarySwitch:
+    """Crossbar + optional delay line over the cut boundary wires."""
+
+    def __init__(
+        self,
+        cfg: NetworkConfig,
+        pmap: PartitionMap,
+        link_latency: int = 0,
+        topology: Optional[Topology] = None,
+    ) -> None:
+        if link_latency < 0:
+            raise ValueError("link_latency must be >= 0")
+        self.cfg = cfg
+        self.pmap = pmap
+        self.link_latency = int(link_latency)
+        manifests = pmap.boundaries(topology)
+        #: per-tile export / import wire-name lists — sorted, the exact
+        #: orders :class:`~repro.partition.worker.PartitionWorkerNetwork`
+        #: computes for its value lists.
+        self.export_names: List[List[str]] = [
+            sorted(m.export_wire_names()) for m in manifests
+        ]
+        self.import_names: List[List[str]] = [
+            sorted(m.import_wire_names()) for m in manifests
+        ]
+        #: current relayed value per boundary wire name.
+        self.values: Dict[str, int] = {}
+        for names in self.export_names:
+            for name in names:
+                self.values[name] = _reset_value(name, cfg)
+        # Sanity: every import must be someone's export and vice versa.
+        exports = {n for names in self.export_names for n in names}
+        imports = {n for names in self.import_names for n in names}
+        if exports != imports:
+            missing = sorted(exports ^ imports)
+            raise ValueError(
+                f"boundary manifests do not pair up; unmatched wires: "
+                f"{missing[:6]}{'...' if len(missing) > 6 else ''}"
+            )
+        self.n_boundary_wires = len(exports)
+        if self.link_latency:
+            self._delay: Dict[str, deque] = {
+                name: deque(
+                    [self.values[name]] * self.link_latency,
+                    maxlen=self.link_latency + 1,
+                )
+                for name in exports
+            }
+        #: total relayed (changed) values, for the overhead report.
+        self.relayed_values = 0
+
+    # -- exact (intra-cycle) relay ------------------------------------------
+    def relay(self, exports: Sequence[Sequence[int]]) -> List[List[int]]:
+        """Fold each tile's export values in, return each tile's imports.
+
+        Zero-latency service: the returned import lists reflect the
+        exports of *this* round.
+        """
+        values = self.values
+        for tile, tile_values in enumerate(exports):
+            names = self.export_names[tile]
+            for name, value in zip(names, tile_values):
+                if values[name] != value:
+                    values[name] = value
+                    self.relayed_values += 1
+        return [
+            [values[name] for name in names] for names in self.import_names
+        ]
+
+    # -- decoupled (L-cycle channel) relay ----------------------------------
+    def delayed_imports(self) -> List[List[int]]:
+        """Pop the values exported ``link_latency`` cycles ago (call once
+        per system cycle, before the tiles converge)."""
+        if not self.link_latency:
+            raise RuntimeError("delayed_imports needs link_latency >= 1")
+        values = self.values
+        for name, queue in self._delay.items():
+            values[name] = queue.popleft()
+        return [
+            [values[name] for name in names] for names in self.import_names
+        ]
+
+    def push_cycle(self, exports: Sequence[Sequence[int]]) -> None:
+        """Append this cycle's exports to the delay lines (call once per
+        system cycle, after the tiles converged)."""
+        if not self.link_latency:
+            raise RuntimeError("push_cycle needs link_latency >= 1")
+        for tile, tile_values in enumerate(exports):
+            names = self.export_names[tile]
+            for name, value in zip(names, tile_values):
+                self._delay[name].append(value)
+                self.relayed_values += 1

@@ -72,6 +72,27 @@ FIELDS = (
 )
 
 
+def estimate_bytes(cfg: NetworkConfig, lanes: int) -> int:
+    """Bytes :class:`ArrayState` will allocate for ``lanes`` lanes.
+
+    Exact for the packed arrays (every field is one int64 per element);
+    the CLI runs this *before* allocating so an over-committed run fails
+    with a plan, not an opaque ``numpy`` MemoryError mid-construction.
+    """
+    rc = cfg.router
+    n = cfg.n_routers
+    nq = rc.n_queues
+    dmax = max(cfg.router_at(r).queue_depth for r in range(n))
+    per_router = (
+        nq * dmax  # mem
+        + 5 * nq  # rd, wr, count, alloc, queue_alloc
+        + rc.n_ports  # arb_ptr
+        + 3 * rc.n_vcs  # inj_word, inj_valid, delay
+        + 6  # alloc_ptr, flags, rr_ptr, eject_word, eject_valid, stalled
+    )
+    return 8 * lanes * n * per_router
+
+
 class ArrayState:
     """All architectural state of ``lanes`` independent simulations.
 
@@ -97,22 +118,30 @@ class ArrayState:
         )
         dmax = int(self.depth.max())
         shape = (lanes, n)
-        self.mem = np.zeros(shape + (nq, dmax), dtype=DTYPE)
-        self.rd = np.zeros(shape + (nq,), dtype=DTYPE)
-        self.wr = np.zeros(shape + (nq,), dtype=DTYPE)
-        self.count = np.zeros(shape + (nq,), dtype=DTYPE)
-        self.alloc = np.full(shape + (nq,), -1, dtype=DTYPE)
-        self.queue_alloc = np.full(shape + (nq,), -1, dtype=DTYPE)
-        self.arb_ptr = np.full(shape + (rc.n_ports,), nq - 1, dtype=DTYPE)
-        self.alloc_ptr = np.full(shape, nq - 1, dtype=DTYPE)
-        self.flags = np.zeros(shape, dtype=DTYPE)
-        self.inj_word = np.zeros(shape + (rc.n_vcs,), dtype=DTYPE)
-        self.inj_valid = np.zeros(shape + (rc.n_vcs,), dtype=DTYPE)
-        self.rr_ptr = np.full(shape, rc.n_vcs - 1, dtype=DTYPE)
-        self.delay = np.zeros(shape + (rc.n_vcs,), dtype=DTYPE)
-        self.eject_word = np.zeros(shape, dtype=DTYPE)
-        self.eject_valid = np.zeros(shape, dtype=DTYPE)
-        self.stalled = np.zeros(shape, dtype=DTYPE)
+        try:
+            self.mem = np.zeros(shape + (nq, dmax), dtype=DTYPE)
+            self.rd = np.zeros(shape + (nq,), dtype=DTYPE)
+            self.wr = np.zeros(shape + (nq,), dtype=DTYPE)
+            self.count = np.zeros(shape + (nq,), dtype=DTYPE)
+            self.alloc = np.full(shape + (nq,), -1, dtype=DTYPE)
+            self.queue_alloc = np.full(shape + (nq,), -1, dtype=DTYPE)
+            self.arb_ptr = np.full(shape + (rc.n_ports,), nq - 1, dtype=DTYPE)
+            self.alloc_ptr = np.full(shape, nq - 1, dtype=DTYPE)
+            self.flags = np.zeros(shape, dtype=DTYPE)
+            self.inj_word = np.zeros(shape + (rc.n_vcs,), dtype=DTYPE)
+            self.inj_valid = np.zeros(shape + (rc.n_vcs,), dtype=DTYPE)
+            self.rr_ptr = np.full(shape, rc.n_vcs - 1, dtype=DTYPE)
+            self.delay = np.zeros(shape + (rc.n_vcs,), dtype=DTYPE)
+            self.eject_word = np.zeros(shape, dtype=DTYPE)
+            self.eject_valid = np.zeros(shape, dtype=DTYPE)
+            self.stalled = np.zeros(shape, dtype=DTYPE)
+        except MemoryError as exc:
+            raise MemoryError(
+                f"cannot allocate packed state for {lanes} lane(s) of a "
+                f"{cfg.width}x{cfg.height} network "
+                f"(~{estimate_bytes(cfg, lanes):,} bytes); reduce --lanes "
+                "or shard the network across workers with --partitions"
+            ) from exc
 
     # -- interchange with the object model ---------------------------------
     def load_lane(self, lane: int, states, iface_states) -> None:

@@ -58,6 +58,17 @@ def _no_pipeline_leaks():
             if p.name.startswith("repro-farm-")
         ]
         assert not workers, f"leaked farm workers: {workers}"
+    if "repro.partition.pool" in sys.modules:
+        import multiprocessing
+
+        from repro.partition.pool import PROCESS_PREFIX
+
+        tiles = [
+            p.name
+            for p in multiprocessing.active_children()
+            if p.name.startswith(PROCESS_PREFIX)
+        ]
+        assert not tiles, f"leaked partition workers: {tiles}"
 
 
 def pytest_collection_modifyitems(config, items):

@@ -136,9 +136,9 @@ class TestThreeWayEquivalence:
 
 
 class TestEngineRegistry:
-    def test_four_engines_registered(self):
+    def test_engines_registered(self):
         names = {e.name for e in list_engines()}
-        assert names == {"rtl", "cycle", "sequential", "batch"}
+        assert names == {"rtl", "cycle", "sequential", "batch", "partitioned"}
 
     def test_make_engine(self):
         cfg = NetworkConfig(2, 2)
