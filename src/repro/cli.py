@@ -211,7 +211,9 @@ def _drive_simulate(args, net, engine, lanes: int, engine_name: str) -> int:
         print(layout())
     if getattr(args, "stream", False):
         return _simulate_streamed(args, net, engine, lanes)
-    if engine_name == "batch" and lanes > 1:
+    if engine_name == "batch" and (
+        lanes > 1 or getattr(args, "fast_forward", False)
+    ):
         return _simulate_batched(args, net, engine, lanes)
     be = BernoulliBeTraffic(net, args.load, uniform_random(net), seed=args.seed)
     driver = TrafficDriver(engine, be=be)
@@ -303,7 +305,12 @@ def _simulate_batched(args, net, engine, lanes: int) -> int:
         for i in range(lanes)
     ]
     start = time.perf_counter()
-    run_batched(engine, drivers, args.cycles)
+    run_batched(
+        engine,
+        drivers,
+        args.cycles,
+        fast_forward=getattr(args, "fast_forward", False),
+    )
     for driver in drivers:
         driver.be = None
     done = drain_batched(engine, drivers)
@@ -588,9 +595,17 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["auto", "python", "levelized", "jit"],
         default="auto",
         help="execution body: python forces the reference path, "
-        "levelized the static-schedule fused body (sequential engine), "
+        "levelized the static-schedule fused body (sequential engine) "
+        "or the fused levelized chunk kernel (batch engine), "
         "jit the generated-C batch kernel (batch engine); auto picks "
         "the best available tier",
+    )
+    p.add_argument(
+        "--fast-forward", action="store_true",
+        help="skip provably quiescent windows (batch engine): when the "
+        "fabric, queues and generators are all idle for D cycles the "
+        "clocks and traffic LFSRs jump D in closed form instead of "
+        "sweeping — bit-identical, disabled while any fault is resident",
     )
     p.add_argument(
         "--stream", action="store_true",

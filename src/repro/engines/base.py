@@ -113,7 +113,8 @@ def make_engine(name: str, cfg: NetworkConfig, **kwargs) -> "Engine":
     one (``repro simulate --kernel``): ``auto`` (default) lets each
     engine pick its best available tier, ``python`` forces the reference
     interpreter/NumPy path, ``levelized`` swaps the sequential engine
-    for its static-levelized compiled variant, and ``jit`` requires the
+    for its static-levelized compiled variant (on the batch engine it
+    selects the fused levelized chunk kernel), and ``jit`` requires the
     generated-C batch kernel (raising
     :class:`~repro.kernels.KernelUnavailableError` when no JIT tier can
     run).
@@ -124,9 +125,10 @@ def make_engine(name: str, cfg: NetworkConfig, **kwargs) -> "Engine":
     kernel = kwargs.pop("kernel", "auto")
     factory = registry[name].factory
     if name == "batch":
-        if kernel not in ("auto", "python", "jit"):
+        if kernel not in ("auto", "python", "levelized", "jit"):
             raise ValueError(
-                f"engine 'batch' supports kernel auto|python|jit (got {kernel!r})"
+                "engine 'batch' supports kernel auto|python|levelized|jit "
+                f"(got {kernel!r})"
             )
         kwargs["kernel"] = kernel
     elif name == "sequential":

@@ -132,6 +132,41 @@ class BatchLane:
         )
 
 
+class _LaneWindow:
+    """A contiguous lane slice of an :class:`ArrayState`.
+
+    Every attribute is a NumPy view over ``state`` (lane-major, so the
+    slices stay C-contiguous); in-place writes land in the full state.
+    The NumPy sweeps run unchanged against a window — this is how a
+    faulted lane range falls back to the dynamic sweep while the clean
+    lanes stay on the compiled levelized kernel within the same cycle.
+    """
+
+    __slots__ = (
+        "mem",
+        "rd",
+        "wr",
+        "count",
+        "alloc",
+        "queue_alloc",
+        "arb_ptr",
+        "alloc_ptr",
+        "inj_word",
+        "inj_valid",
+        "rr_ptr",
+        "delay",
+        "eject_word",
+        "eject_valid",
+        "depth",
+    )
+
+    def __init__(self, state: ArrayState, lo: int, hi: int) -> None:
+        for name in self.__slots__:
+            if name != "depth":
+                setattr(self, name, getattr(state, name)[lo:hi])
+        self.depth = state.depth  # per-router, lane-independent
+
+
 class BatchEngine:
     """Vectorized bulk-synchronous simulation of ``lanes`` networks.
 
@@ -226,17 +261,25 @@ class BatchEngine:
         self._neg1_br = np.full((B, n), -1, dtype=np.int64)
 
         # -- kernel selection (the repro.kernels backend ladder) -----------
-        #: execution body actually in use: "jit" (generated C) or
-        #: "python" (the NumPy sweeps); benches report this.
+        #: execution body actually in use: "jit" (generated C, dynamic
+        #: sweep), "levelized" (generated C over the static level
+        #: schedule) or "python" (the NumPy sweeps); benches report this.
         self.kernel = "python"
-        #: why the JIT tier was declined, when it was ("auto" mode only).
+        #: why the requested tier was declined, when it was.
         self.kernel_reason: Optional[str] = None
         self._compiled = None
-        if kernel not in ("auto", "python", "jit"):
+        #: static level schedule, when the levelized kernel carries one.
+        self.schedule = None
+        #: lanes pinned to the dynamic NumPy sweep (resident faults whose
+        #: diagnosis must not ride the statically scheduled fast path).
+        self.lane_faults: set = set()
+        if kernel not in ("auto", "python", "levelized", "jit"):
             raise ValueError(
-                f"unknown kernel {kernel!r}; known: auto|python|jit"
+                f"unknown kernel {kernel!r}; known: auto|python|levelized|jit"
             )
-        if kernel != "python":
+        if kernel == "levelized":
+            self._init_levelized()
+        elif kernel != "python":
             from repro.kernels import KernelUnavailableError, select_backend
 
             try:
@@ -252,6 +295,47 @@ class BatchEngine:
                 if kernel == "jit":
                     raise
                 self.kernel_reason = str(exc)
+
+    def _init_levelized(self) -> None:
+        """Bind the levelized lane kernel (``kernel="levelized"``).
+
+        Requires a static level schedule (a combinational cycle falls
+        back to the dynamic-sweep tiers, per-batch) and the generated-C
+        tier (``REPRO_KERNELS=numpy`` keeps the engine on the NumPy
+        sweeps — which evaluate the same three levels in the same order,
+        so the fallback is the bit-identical reference).
+        """
+        from repro.kernels import resolve_kernels_mode, select_backend
+        from repro.kernels.batchlevel import CompiledBatchLevel, level_orders
+        from repro.kernels.levelize import CyclicDependencyError, levelize
+
+        try:
+            schedule = levelize(self.cfg)
+        except CyclicDependencyError as exc:
+            schedule = None
+            reason = f"no static schedule ({exc})"
+        else:
+            if level_orders(schedule) is None:
+                reason = "schedule is not the 3-level room/fwd/state shape"
+                schedule = None
+        if schedule is None:
+            # No static schedule: the whole batch runs the dynamic sweep
+            # (C tier when available, NumPy otherwise).
+            self.kernel_reason = reason + "; dynamic sweep"
+            if select_backend(None) == "cffi":
+                from repro.kernels.batchstep import CompiledBatchStep
+
+                self._compiled = CompiledBatchStep(self)
+                self.kernel = "jit"
+            return
+        self.schedule = schedule
+        if resolve_kernels_mode(None) == "numpy":
+            self.kernel = "levelized"
+            self.kernel_reason = "backend ladder selected numpy"
+            return
+        select_backend("jit")  # raises KernelUnavailableError with reason
+        self._compiled = CompiledBatchLevel(self, schedule)
+        self.kernel = "levelized"
 
     # -- traffic-side API ---------------------------------------------------
     def lane(self, lane: int) -> BatchLane:
@@ -313,19 +397,101 @@ class BatchEngine:
         self.routing.recompute_avoiding(self.quarantined_links)
         self._route = self.routing.packed()
 
+    def mark_lane_fault(self, lane: int) -> None:
+        """Pin ``lane`` to the dynamic NumPy sweep.
+
+        Used when a lane carries a resident fault (injected state
+        corruption, a diagnosis experiment): its cycles run the
+        reference dynamic path while clean lanes stay on the compiled
+        levelized kernel — both see the identical architectural
+        semantics, so marking a clean lane is always safe.
+        """
+        if not 0 <= lane < self.lanes:
+            raise IndexError(f"lane {lane} out of range (lanes={self.lanes})")
+        self.lane_faults.add(lane)
+
+    def clear_lane_fault(self, lane: int) -> None:
+        """Lift a :meth:`mark_lane_fault` pin (fault repaired/rolled back)."""
+        self.lane_faults.discard(lane)
+
+    @property
+    def fault_resident(self) -> bool:
+        """True while any fault state is resident (quarantined links or
+        fault-pinned lanes) — quiescence fast-forward is disabled then,
+        so watchdog and livelock diagnosis behave exactly as without it."""
+        return bool(self.quarantined_links or self.lane_faults)
+
+    def skip_cycles(self, cycles: int) -> None:
+        """Advance the clock over provably idle cycles (quiescence
+        fast-forward): pure accounting — the metrics record the same
+        per-cycle floor an idle stepped cycle records, and no
+        architectural state is touched."""
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        if cycles:
+            self.metrics.record_cycles(
+                cycles, self.SWEEPS_PER_CYCLE * self.cfg.n_routers
+            )
+            self.cycle += cycles
+
+    def _lane_runs(self) -> List[Tuple[int, int, bool]]:
+        """Maximal contiguous lane runs of equal fault status:
+        ``(lo, hi, faulted)`` triples covering ``[0, lanes)``."""
+        runs: List[Tuple[int, int, bool]] = []
+        start = 0
+        current = 0 in self.lane_faults
+        for lane in range(1, self.lanes):
+            faulted = lane in self.lane_faults
+            if faulted != current:
+                runs.append((start, lane, current))
+                start, current = lane, faulted
+        runs.append((start, self.lanes, current))
+        return runs
+
     # -- the system cycle ----------------------------------------------------
     def step(self) -> None:
         for hook in self.pre_step_hooks:
             hook(self)
-        if self._compiled is not None:
-            self._compiled.step()
-            self.metrics.record_cycle(self.SWEEPS_PER_CYCLE * self.cfg.n_routers)
-            self.cycle += 1
-            return
-        S = self.state
-        B, R = self.lanes, self.cfg.n_routers
+        compiled = self._compiled
+        if compiled is not None:
+            if not self.lane_faults:
+                compiled.step()
+            elif hasattr(compiled, "step_range"):
+                # Per-lane fallback: clean runs ride the compiled
+                # levelized kernel, faulted runs the dynamic sweep.
+                for lo, hi, faulted in self._lane_runs():
+                    if faulted:
+                        self._step_numpy(lo, hi)
+                    else:
+                        compiled.step_range(lo, hi)
+            else:
+                # The dynamic-sweep C kernel has no lane-range entry:
+                # run the whole batch on the reference path.
+                self._step_numpy(0, self.lanes)
+        else:
+            self._step_numpy(0, self.lanes)
+        self.metrics.record_cycle(self.SWEEPS_PER_CYCLE * self.cfg.n_routers)
+        self.cycle += 1
+
+    def _step_numpy(self, lo: int, hi: int) -> None:
+        """One cycle of the NumPy sweeps over lanes ``[lo, hi)``."""
+        B = hi - lo
+        S = (
+            self.state
+            if B == self.lanes
+            else _LaneWindow(self.state, lo, hi)
+        )
+        R = self.cfg.n_routers
         P, V, NQ = self._P, self._V, self._NQ
         dw, vc_shift = self._dw, self._vc_shift
+        # Lane-window slices of the flat gather tables: the flat offsets
+        # only encode the lane *within* the window (lane-major layout),
+        # so the first B rows address any contiguous window's planes.
+        wire_flat = self._wire_flat[:B]
+        wire_maskB = self._wire_maskB[:B]
+        mem_base = self._mem_base[:B]
+        brq_base = self._brq_base[:B]
+        brv_base = self._brv_base[:B]
         fabric_active = bool(S.count.any())
         inj_active = bool(S.inj_valid.any())
 
@@ -350,27 +516,27 @@ class BatchEngine:
             )
             inj_sel = np.take(
                 S.inj_word.reshape(-1),
-                self._brv_base + np.maximum(choice, 0),
+                brv_base + np.maximum(choice, 0),
             )
             iface_word = np.where(has_inj, (choice << vc_shift) | inj_sel, 0)
         else:
-            choice = self._neg1_br
-            iface_word = self._zeros_br
+            choice = self._neg1_br[:B]
+            iface_word = self._zeros_br[:B]
 
         # -- sweep 2b: crossbar arbitration and forward words --------------
         granted_any = False
-        fwd_out = self._zeros_brp
+        fwd_out = self._zeros_brp[:B]
         head = None
         if fabric_active:
-            head = np.take(S.mem.reshape(-1), self._mem_base + S.rd)
+            head = np.take(S.mem.reshape(-1), mem_base + S.rd)
             ready = S.count > 0
             alloc_pv = S.alloc.reshape(B, R, P, V)
             aqc = np.maximum(alloc_pv, 0)
             ready_at = np.take(
-                ready.reshape(-1), self._brq_base + aqc.reshape(B, R, NQ)
+                ready.reshape(-1), brq_base + aqc.reshape(B, R, NQ)
             ).reshape(B, R, P, V)
             room_in = np.where(
-                self._wire_maskB, np.take(rooms.reshape(-1), self._wire_flat), 0
+                wire_maskB, np.take(rooms.reshape(-1), wire_flat), 0
             )
             room_in[:, :, 0] = self._sink  # the local sink always has room
             requesting = (
@@ -388,18 +554,18 @@ class BatchEngine:
                 g = _rr_pick(req, S.arb_ptr, NQ, self._nq_rrmask)
                 grant_vc = np.argmax(alloc_pv == g[:, :, :, None], axis=3)
                 head_g = np.take(
-                    head.reshape(-1), self._brq_base + g
+                    head.reshape(-1), brq_base + g
                 )
                 fwd_out = np.where(granted, (grant_vc << vc_shift) | head_g, 0)
 
         fwd_in = np.where(
-            self._wire_maskB, np.take(fwd_out.reshape(-1), self._wire_flat), 0
+            wire_maskB, np.take(fwd_out.reshape(-1), wire_flat), 0
         )
         fwd_in[:, :, 0] = iface_word
 
         # -- sweep 3a: output-VC allocation decisions (old state only) -----
         decisions = (
-            self._allocation_sweep(head, ready) if fabric_active else None
+            self._allocation_sweep(S, head, ready) if fabric_active else None
         )
 
         # -- sweep 3b: pops (granted queues emit their head) ---------------
@@ -442,15 +608,12 @@ class BatchEngine:
             db, dr, dq, dovc, new_alloc_ptr = decisions
             S.alloc[db, dr, dovc] = dq
             S.queue_alloc[db, dr, dq] = dovc
-            S.alloc_ptr = new_alloc_ptr
+            S.alloc_ptr[...] = new_alloc_ptr
 
         # -- sweep 3e: stimuli interface state + event records -------------
-        self._stimuli_update(choice, fwd_out[:, :, 0], inj_active)
+        self._stimuli_update(S, lo, choice, fwd_out[:, :, 0], inj_active)
 
-        self.metrics.record_cycle(self.SWEEPS_PER_CYCLE * R)
-        self.cycle += 1
-
-    def _allocation_sweep(self, head, ready):
+    def _allocation_sweep(self, S, head, ready):
         """Vectorized rotating-priority output-VC allocation.
 
         Observes only pre-update state (``alloc``/``queue_alloc``/queue
@@ -458,7 +621,6 @@ class BatchEngine:
         model's ``Router._allocation_decisions``; the caller applies the
         returned decisions after pops and pushes.
         """
-        S = self.state
         V, NQ = self._V, self._NQ
         dw = self._dw
         cand = (
@@ -582,9 +744,11 @@ class BatchEngine:
             new_alloc_ptr,
         )
 
-    def _stimuli_update(self, choice, eject_in, inj_active) -> None:
-        """Advance every stimuli interface one cycle and log events."""
-        S = self.state
+    def _stimuli_update(self, S, lo, choice, eject_in, inj_active) -> None:
+        """Advance every stimuli interface one cycle and log events.
+
+        ``S`` is the full state or a lane window starting at lane
+        ``lo``; all writes are in place so windows update the batch."""
         dw, vc_shift = self._dw, self._vc_shift
         R, V = self.cfg.n_routers, self._V
         cycle = self.cycle
@@ -598,16 +762,16 @@ class BatchEngine:
                 for i, flat in enumerate(sent_flat.tolist()):
                     b, rv = divmod(flat, R * V)
                     r, vc = divmod(rv, V)
-                    self._injections[b].append(
+                    self._injections[lo + b].append(
                         InjectionRecord(cycle, r, vc, words[i], delays[i])
                     )
-            S.delay = np.where(
+            S.delay[...] = np.where(
                 sent,
                 0,
                 np.where(pending, (S.delay + 1) & 0xFFFFF, S.delay),
             )
-            S.inj_valid = np.where(sent, 0, S.inj_valid)
-            S.rr_ptr = np.where(choice >= 0, choice, S.rr_ptr)
+            S.inj_valid[sent] = 0
+            S.rr_ptr[...] = np.where(choice >= 0, choice, S.rr_ptr)
         ejected = ((eject_in >> dw) & 3) != 0
         if ejected.any():
             eject_mask = (1 << vc_shift) - 1
@@ -616,20 +780,168 @@ class BatchEngine:
             for i, flat in enumerate(ej_flat.tolist()):
                 b, r = divmod(flat, R)
                 word = words[i]
-                self._ejections[b].append(
+                self._ejections[lo + b].append(
                     EjectionRecord(cycle, r, word >> vc_shift, word & eject_mask)
                 )
-            S.eject_word = np.where(ejected, eject_in, S.eject_word)
-            S.eject_valid = ejected.astype(np.int64)
+            S.eject_word[...] = np.where(ejected, eject_in, S.eject_word)
+            S.eject_valid[...] = ejected
         elif S.eject_valid.any():
-            S.eject_valid = np.zeros_like(S.eject_valid)
+            S.eject_valid[...] = 0
 
     def run(self, cycles: int) -> None:
         for _ in range(cycles):
             self.step()
 
 
-def run_batched(engine: BatchEngine, drivers: Sequence, cycles: int) -> None:
+#: Cycles simulated per fused C call on the chunked levelized path.
+_CHUNK = 64
+
+#: Longest no-arrival window the BE lookahead will prove in one scan.
+_FF_SCAN_LIMIT = 4096
+
+
+def _chunk_eligible(engine: BatchEngine, drivers: Sequence) -> bool:
+    """May ``run_batched`` hand whole chunks to the fused kernel?
+
+    The chunked path moves the pump loop into C, so it must see exactly
+    the reference driver set: one plain :class:`TrafficDriver` per lane,
+    in lane order, with a uniform stall limit — and no per-cycle hooks
+    or per-lane fault fallbacks that need Python between cycles.
+    """
+    from repro.traffic.stimuli import TrafficDriver
+
+    if engine.pre_step_hooks or engine.lane_faults:
+        return False
+    if len(drivers) != engine.lanes:
+        return False
+    limit = None
+    for i, driver in enumerate(drivers):
+        if type(driver) is not TrafficDriver:
+            return False
+        lane = driver.engine
+        if not isinstance(lane, BatchLane) or lane.engine is not engine:
+            return False
+        if lane.lane != i:
+            return False
+        if limit is None:
+            limit = driver.stall_limit
+        elif driver.stall_limit != limit:
+            return False
+    return True
+
+
+def _hook_horizon(engine: BatchEngine, limit: int) -> int:
+    """How far the pre-step hooks allow skipping (0 = not at all).
+
+    A hook that does not advertise :meth:`next_fire_cycle` is opaque —
+    it might act every cycle — so its presence vetoes any skip.
+    """
+    horizon = limit
+    for hook in engine.pre_step_hooks:
+        probe = getattr(hook, "next_fire_cycle", None)
+        if probe is None:
+            return 0
+        fire = probe(engine)
+        if fire is not None:
+            horizon = min(horizon, fire - engine.cycle)
+    return horizon
+
+
+def _next_arrival_bound(driver, cycle: int, limit: int) -> int:
+    """A proven lower bound on cycles before ``driver`` emits a packet.
+
+    GT streams are periodic, so the next emission is closed-form.  The
+    Bernoulli BE stream is scanned ahead on a *copy* of its LFSR state
+    (the real generator state is untouched): each no-hit cycle consumes
+    exactly ``n_routers`` RNG words, so a clean window of D cycles both
+    proves no arrival and tells the committer exactly how far to
+    :meth:`~repro.traffic.rng.HardwareLfsr.jump`.  Any generator shape
+    this function does not recognise returns 0 (no skip).
+    """
+    from repro.traffic.generators import BernoulliBeTraffic, GtStreamTraffic
+    from repro.traffic.rng import _JUMP
+
+    horizon = limit
+    gt = driver.gt
+    if gt is not None:
+        if type(gt) is not GtStreamTraffic:
+            return 0
+        if gt.streams:
+            period = gt.period
+            horizon = min(
+                horizon,
+                min((phase - cycle) % period for phase in gt._phase),
+            )
+            if horizon <= 0:
+                return 0
+    be = driver.be
+    if be is not None:
+        if type(be) is not BernoulliBeTraffic:
+            return 0
+        prob = be.packet_probability
+        if prob > 0:
+            threshold = int(prob * 2**32)
+            scan = min(horizon, _FF_SCAN_LIMIT)
+            j0, j1, j2, j3 = _JUMP
+            state = be.rng.state
+            n_src = be.net.n_routers
+            for c in range(scan):
+                for _ in range(n_src):
+                    state = (
+                        j0[state & 0xFF]
+                        ^ j1[(state >> 8) & 0xFF]
+                        ^ j2[(state >> 16) & 0xFF]
+                        ^ j3[state >> 24]
+                    )
+                    if state < threshold:
+                        return c
+            horizon = min(horizon, scan)
+    return horizon
+
+
+def _try_fast_forward(engine: BatchEngine, drivers: Sequence, remaining: int) -> int:
+    """Skip a proven-quiescent window; returns the cycles skipped (0 = none).
+
+    A window of D cycles may be skipped only when a step provably
+    changes nothing: the fabric is empty (no buffered flits, no staged
+    injections, no latched ejections), every driver's backlog is empty,
+    no fault is resident, every hook is dormant for D cycles, and every
+    generator provably emits nothing for D cycles.  Committing the skip
+    advances each BE LFSR by exactly the words the elided scans would
+    have drawn, then credits the cycle counters and delta metrics —
+    bit-identical to stepping D idle cycles.
+    """
+    from repro.traffic.stimuli import TrafficDriver
+
+    if remaining <= 0 or engine.fault_resident:
+        return 0
+    S = engine.state
+    if S.count.any() or S.inj_valid.any() or S.eject_valid.any():
+        return 0
+    for driver in drivers:
+        if type(driver) is not TrafficDriver or driver.backlog():
+            return 0
+    horizon = _hook_horizon(engine, remaining)
+    if horizon <= 0:
+        return 0
+    for driver in drivers:
+        horizon = _next_arrival_bound(driver, engine.cycle, horizon)
+        if horizon <= 0:
+            return 0
+    for driver in drivers:
+        be = driver.be
+        if be is not None and be.packet_probability > 0:
+            be.rng.jump(horizon * engine.cfg.n_routers)
+    engine.skip_cycles(horizon)
+    return horizon
+
+
+def run_batched(
+    engine: BatchEngine,
+    drivers: Sequence,
+    cycles: int,
+    fast_forward: bool = False,
+) -> None:
     """Pump one traffic driver per lane against a single batched loop.
 
     ``drivers[i]`` must wrap ``engine.lane(i)`` (a
@@ -638,29 +950,65 @@ def run_batched(engine: BatchEngine, drivers: Sequence, cycles: int) -> None:
     what ``TrafficDriver.step`` does per lane — generate, pump, step —
     except the step advances all lanes at once.
 
-    When the engine runs the jit tier, every driver is a plain
-    Bernoulli-BE/uniform-random stream, and the generated-C tier is
-    available, the per-lane generate calls are replaced by one C scan
+    When the engine runs the jit or levelized tier, every driver is a
+    plain Bernoulli-BE/uniform-random stream, and the generated-C tier
+    is available, the per-lane generate calls are replaced by one C scan
     per cycle (:func:`repro.kernels.trafficgen.batched_be_generator`) —
     a pure reordering of independent per-lane work, bit-identical per
     lane.  A ``kernel="python"`` engine keeps the all-Python reference
     path end to end.
+
+    A levelized engine additionally runs whole :data:`_CHUNK`-cycle
+    windows inside one fused C call (generation stays in Python, staged
+    ahead with timestamps; the pump moves into the kernel) whenever the
+    driver set passes :func:`_chunk_eligible`.
+
+    ``fast_forward`` enables quiescence skipping: before generating each
+    cycle the run checks :func:`_try_fast_forward`, and when the fabric,
+    queues, hooks and generators are all provably idle for D cycles it
+    jumps the clocks (and the BE LFSRs, in closed form) by D instead of
+    sweeping.  Fast-forward never fires while any fault is resident.
     """
     from repro.kernels.trafficgen import batched_be_generator
 
     generator = (
         batched_be_generator(drivers)
-        if getattr(engine, "kernel", None) == "jit"
+        if getattr(engine, "kernel", None) in ("jit", "levelized")
         else None
     )
+    end = engine.cycle + cycles
+    compiled = getattr(engine, "_compiled", None)
+    if (
+        compiled is not None
+        and hasattr(compiled, "run_chunk")
+        and _chunk_eligible(engine, drivers)
+    ):
+        while engine.cycle < end:
+            if fast_forward and _try_fast_forward(engine, drivers, end - engine.cycle):
+                continue
+            k = min(_CHUNK, end - engine.cycle)
+            start = engine.cycle
+            if generator is not None:
+                window = generator.generate_window(start, start + k)
+            else:
+                window = None
+                for driver in drivers:
+                    for c in range(start, start + k):
+                        driver.generate(c)
+            compiled.run_chunk(drivers, k, window)
+        return
     if generator is not None:
-        for _ in range(cycles):
+        while engine.cycle < end:
+            if fast_forward and _try_fast_forward(engine, drivers, end - engine.cycle):
+                continue
             generator.generate(engine.cycle)
             for driver in drivers:
                 driver.pump()
             engine.step()
         return
-    for _ in range(cycles):
+    while engine.cycle < end:
+        if fast_forward and _try_fast_forward(engine, drivers, end - engine.cycle):
+            continue
         cycle = engine.cycle
         for driver in drivers:
             driver.generate(cycle)

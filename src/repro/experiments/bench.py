@@ -96,6 +96,9 @@ class BenchPoint:
     transport: Optional[str] = None
     boundary_sync_fraction: Optional[float] = None
     mean_boundary_rounds: Optional[float] = None
+    #: CPU cores usable when the row was measured: rows merged from
+    #: different machines stay individually interpretable.
+    host_cores: Optional[int] = None
 
 
 def _engine_factories():
@@ -132,6 +135,12 @@ def _engine_factories():
         "batch-jit": (
             None,  # measured by _run_once_batched(kernel="jit")
             f"batched FPGA lanes ({BATCH_LANES} lanes, generated-C kernel)",
+            1,
+        ),
+        "batch-levelized": (
+            None,  # measured by _run_once_batched(kernel="levelized")
+            f"batched FPGA lanes ({BATCH_LANES} lanes, fused levelized "
+            "chunk kernel)",
             1,
         ),
     }
@@ -279,6 +288,7 @@ def _measure_partition(
             round(metrics.mean_deltas_per_cycle(), 3) if metrics else None
         ),
         network=f"{PARTITION_EDGE}x{PARTITION_EDGE} torus, queue depth 2",
+        host_cores=_host_cores(),
     )
     if partitions is not None:
         point.partitions = partitions
@@ -351,6 +361,7 @@ def _measure_pipeline(
         overlap_efficiency=round(prof.overlap_efficiency(), 3),
         serial_sweep_seconds=round(serial, 3),
         speedup_vs_serial=round(serial / seconds, 2),
+        host_cores=_host_cores(),
     )
 
 
@@ -364,9 +375,13 @@ def measure(
         return _measure_partition(name, cycles, rounds)
     factory, analogue, div = _engine_factories()[name]
     cycles = max(20, (cycles if cycles is not None else scale(300)) // div)
-    batched = name in ("batch", "batch-jit")
+    batched = name in ("batch", "batch-jit", "batch-levelized")
     if batched:
-        kernel = "jit" if name == "batch-jit" else "python"
+        kernel = {
+            "batch": "python",
+            "batch-jit": "jit",
+            "batch-levelized": "levelized",
+        }[name]
         _run_once_batched(min(cycles, 20), lanes, kernel)  # warmup
         seconds = min(
             _run_once_batched(cycles, lanes, kernel)
@@ -392,6 +407,7 @@ def measure(
         lanes=lanes if batched else None,
         per_lane_cps=round(cycles / seconds, 1) if batched else None,
         backend=_backend_of(engine),
+        host_cores=_host_cores(),
     )
 
 
@@ -405,6 +421,7 @@ def run(
         "sequential-levelized",
         "batch",
         "batch-jit",
+        "batch-levelized",
         "pipeline",
         "sequential-16x16",
         "partitioned-2",
@@ -479,6 +496,11 @@ def run(
     batch = by_name.get("batch")
     if jit is not None and batch is not None:
         doc["speedup_batch_jit_vs_batch"] = round(jit.cps / batch.cps, 2)
+    batchlev = by_name.get("batch-levelized")
+    if batchlev is not None and jit is not None:
+        doc["speedup_batch_levelized_vs_batch_jit"] = round(
+            batchlev.cps / jit.cps, 2
+        )
     mono16 = by_name.get("sequential-16x16")
     part4 = by_name.get("partitioned-4")
     if mono16 is not None and part4 is not None:
@@ -532,6 +554,11 @@ def render(doc: Dict) -> str:
         out += (
             "\nbatch generated-C kernel vs batch NumPy: "
             f"{doc['speedup_batch_jit_vs_batch']:.2f}x aggregate"
+        )
+    if "speedup_batch_levelized_vs_batch_jit" in doc:
+        out += (
+            "\nbatch fused levelized chunks vs per-cycle generated-C: "
+            f"{doc['speedup_batch_levelized_vs_batch_jit']:.2f}x aggregate"
         )
     if "speedup_partitioned_vs_monolithic" in doc:
         part = doc["engines"].get("partitioned-4") or {}

@@ -215,6 +215,28 @@ def _save_progress(path: str, engine, driver, tracker) -> None:
     os.replace(tmp, path)
 
 
+def _validate_rng_resume(fresh_rng, be_state) -> None:
+    """Cross-check a checkpoint's LFSR state against its word count.
+
+    The Galois LFSR's closed-form jump (:func:`repro.traffic.rng.lfsr_jump`)
+    makes the saved ``(state, words_read)`` pair redundant: jumping the
+    spec's seed forward ``words_read`` reads must land exactly on the
+    saved state.  A mismatch means the checkpoint is internally torn
+    (e.g. a partial write that survived pickle), so resuming would
+    silently fork the traffic stream — treat it as corrupt instead.
+    """
+    from repro.traffic.rng import HardwareLfsr, lfsr_jump
+
+    if not isinstance(fresh_rng, HardwareLfsr):
+        return
+    words = be_state["rng_words"]
+    if words < 0 or lfsr_jump(fresh_rng.state, 32 * words) != be_state["rng_state"]:
+        raise ValueError(
+            "checkpoint RNG state does not match its word count "
+            f"(words_read={words})"
+        )
+
+
 def _load_progress(path: str, engine, make_be):
     """Restore a saved run state into a fresh engine; returns the
     resumed ``(driver, tracker)`` or ``None`` when the file is missing
@@ -235,6 +257,7 @@ def _load_progress(path: str, engine, make_be):
         be_state = state["be_state"]
         if be_state is not None:
             be = make_be()
+            _validate_rng_resume(be.rng, be_state)
             be.rng.state = be_state["rng_state"]
             be.rng.words_read = be_state["rng_words"]
             be._seq = list(be_state["seq"])

@@ -207,13 +207,29 @@ class FaultInjector:
         self.fired: List[Tuple[int, PlannedFault]] = []  # (cycle fired, fault)
 
     def attach(self) -> "FaultInjector":
-        self.model.engine.pre_step_hooks.append(self._hook)
+        # The injector itself is the hook (it is callable): engines that
+        # support quiescence fast-forward probe hooks for
+        # ``next_fire_cycle`` to bound how far they may skip.
+        self.model.engine.pre_step_hooks.append(self)
         return self
 
     def detach(self) -> None:
         hooks = self.model.engine.pre_step_hooks
-        if self._hook in hooks:
-            hooks.remove(self._hook)
+        for hook in (self, self._hook):
+            if hook in hooks:
+                hooks.remove(hook)
+
+    def next_fire_cycle(self, engine) -> Optional[int]:
+        """The cycle the next pending fault strikes (``None`` when done).
+
+        Between strikes the hook is a pure no-op, so a fast-forwarding
+        engine may skip any span of cycles that stops at (or before)
+        this cycle — the strike then lands on exactly the right cycle.
+        """
+        return self.pending[0].cycle if self.pending else None
+
+    def __call__(self, engine) -> None:
+        self._hook(engine)
 
     def _hook(self, engine) -> None:
         while self.pending and self.pending[0].cycle <= engine.cycle:

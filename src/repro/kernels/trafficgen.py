@@ -183,6 +183,7 @@ class BatchedBeGenerator:
     def generate(self, cycle: int) -> None:
         """What ``driver.generate(cycle)`` would do, for every lane."""
         from repro.noc.packet import Packet, PacketClass
+        from repro.traffic.generators import _ramp_payload
 
         bes = self._bes
         states = self._states
@@ -212,9 +213,7 @@ class BatchedBeGenerator:
             be = bes[lane]
             seq = be._seq[src]
             be._seq[src] = (seq + 1) & 0xFF
-            payload = bytes(
-                (src + seq + i) % 256 for i in range(be.payload_bytes)
-            )
+            payload = _ramp_payload(src + seq, be.payload_bytes)
             packet = Packet(
                 src=src,
                 dest=dest,
@@ -230,6 +229,89 @@ class BatchedBeGenerator:
         for i, be in enumerate(bes):
             be.rng.state = int(states[i])
             be.rng.words_read += int(reads[i])
+
+    def generate_window(self, start: int, stop: int):
+        """Generate cycles ``[start, stop)`` for every lane, handing the
+        encoded flit words over directly instead of queueing them.
+
+        Returns ``{(lane, src, vc): (words, cycles, packet_keys)}`` —
+        three parallel lists per stimuli queue, ready to be staged by
+        the fused chunk kernel.  All driver bookkeeping that the
+        per-cycle path performs is replicated exactly (submit records,
+        tracker notes, ``flits_generated``, queue-key registration, RNG
+        state), so a consumer that re-queues unconsumed words leaves the
+        drivers bit-identical to ``stop - start`` ``generate`` calls.
+        """
+        from collections import deque
+
+        from repro.noc.packet import Packet, PacketClass, segment
+        from repro.traffic.generators import _ramp_payload
+        from repro.traffic.stimuli import SubmitRecord
+
+        bes = self._bes
+        states = self._states
+        reads = self._reads
+        for i, be in enumerate(bes):
+            states[i] = be.rng.state
+        reads[:] = 0
+        window = {}
+        hits = self._hits
+        drivers = self.drivers
+        for cycle in range(start, stop):
+            n = self._kernel.repro_gen_be(
+                len(bes),
+                self.n_src,
+                self.threshold,
+                self.bound,
+                self.span,
+                self._p_jump,
+                self._p_states,
+                self._p_reads,
+                self._p_hits,
+                self._cap,
+            )
+            for k in range(n):
+                lane = int(hits[3 * k])
+                src = int(hits[3 * k + 1])
+                dest = int(hits[3 * k + 2])
+                driver = drivers[lane]
+                be = bes[lane]
+                seq = be._seq[src]
+                be._seq[src] = (seq + 1) & 0xFF
+                packet = Packet(
+                    src=src,
+                    dest=dest,
+                    pclass=PacketClass.BE,
+                    payload=_ramp_payload(src + seq, be.payload_bytes),
+                    tag=seq % 128,
+                    seq=seq,
+                )
+                be_vcs = driver.net.router.be_vcs
+                toggle = driver._be_vc_toggle[src]
+                driver._be_vc_toggle[src] = (toggle + 1) % len(be_vcs)
+                vc = be_vcs[toggle]
+                record = SubmitRecord(packet, vc, cycle)
+                driver.submits.append(record)
+                if driver.tracker is not None:
+                    driver.tracker.note_submit(record)
+                driver.queues.setdefault((src, vc), deque())
+                if driver._encoder is not None and packet.payload:
+                    words = driver._encoder.words(packet)
+                else:
+                    dw = driver.net.router.data_width
+                    words = [f.encode(dw) for f in segment(packet, driver.net)]
+                driver.flits_generated += len(words)
+                slot = window.get((lane, src, vc))
+                if slot is None:
+                    slot = window[(lane, src, vc)] = ([], [], [])
+                slot[0].extend(words)
+                nw = len(words)
+                slot[1].extend([cycle] * nw)
+                slot[2].extend([(src, seq)] * nw)
+        for i, be in enumerate(bes):
+            be.rng.state = int(states[i])
+            be.rng.words_read += int(reads[i])
+        return window
 
 
 def batched_be_generator(drivers: Sequence) -> Optional[BatchedBeGenerator]:

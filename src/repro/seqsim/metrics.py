@@ -30,6 +30,23 @@ class DeltaMetrics:
             )
         self.per_cycle.append(deltas)
 
+    def record_cycles(self, cycles: int, deltas: int) -> None:
+        """Credit ``cycles`` system cycles of ``deltas`` each at once.
+
+        The bulk form of :meth:`record_cycle` for chunked kernels and
+        quiescence fast-forward: statically scheduled (or provably idle)
+        cycles all cost exactly the floor, so the accounting is the same
+        whether the cycles were stepped one by one or jumped over.
+        """
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        if deltas < self.n_units:
+            raise ValueError(
+                f"{deltas} deltas < {self.n_units} units: every unit must be "
+                "evaluated at least once per system cycle"
+            )
+        self.per_cycle.extend([deltas] * cycles)
+
     @property
     def system_cycles(self) -> int:
         return len(self.per_cycle)

@@ -13,7 +13,7 @@ number generator (section 5.3); this package provides both pieces:
   to the user and simulation is stopped").
 """
 
-from repro.traffic.rng import HardwareLfsr, SoftwareRand
+from repro.traffic.rng import HardwareLfsr, SoftwareRand, lfsr_jump
 from repro.traffic.generators import (
     BernoulliBeTraffic,
     DestinationPattern,
@@ -37,6 +37,7 @@ __all__ = [
     "TrafficDriver",
     "bit_complement",
     "hotspot",
+    "lfsr_jump",
     "neighbor_shift",
     "transpose",
     "uniform_random",

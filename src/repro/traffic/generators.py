@@ -26,6 +26,19 @@ from repro.traffic.rng import _JUMP, HardwareLfsr
 DestinationPattern = Callable[[int, object], int]
 """Maps (source index, rng) -> destination index."""
 
+#: Two periods of the byte ramp every generator payload is drawn from:
+#: ``bytes((start + i) % 256 for i in range(n))`` is a slice of this
+#: table whenever ``n <= 257``, which skips a per-packet generator
+#: expression in the innermost traffic loop.
+_PAYLOAD_TABLE = bytes(range(256)) * 2
+
+
+def _ramp_payload(start: int, length: int) -> bytes:
+    if length <= 257:
+        start %= 256
+        return _PAYLOAD_TABLE[start : start + length]
+    return bytes((start + i) % 256 for i in range(length))
+
 
 def uniform_random(net: NetworkConfig) -> DestinationPattern:
     """Uniformly random destination, excluding the source itself."""
@@ -151,9 +164,7 @@ class BernoulliBeTraffic:
                 reads = 0
                 seq = self._seq[src]
                 self._seq[src] = (seq + 1) & 0xFF
-                payload = bytes(
-                    (src + seq + i) % 256 for i in range(self.payload_bytes)
-                )
+                payload = _ramp_payload(src + seq, self.payload_bytes)
                 out.append(
                     Packet(
                         src=src,
@@ -210,9 +221,7 @@ class BernoulliBeTraffic:
                     reads = 0
                     seq = seq_table[src]
                     seq_table[src] = (seq + 1) & 0xFF
-                    payload = bytes(
-                        (src + seq + i) % 256 for i in range(payload_bytes)
-                    )
+                    payload = _ramp_payload(src + seq, payload_bytes)
                     out.append(
                         Packet(
                             src=src,
@@ -261,7 +270,7 @@ class GtStreamTraffic:
             if cycle % self.period == self._phase[i]:
                 seq = self._seq[i]
                 self._seq[i] = (seq + 1) & 0xFF
-                payload = bytes((seq + j) % 256 for j in range(self.payload_bytes))
+                payload = _ramp_payload(seq, self.payload_bytes)
                 out.append(
                     (
                         Packet(
@@ -296,7 +305,7 @@ class GtStreamTraffic:
                 stream = self.streams[i]
                 seq = self._seq[i]
                 self._seq[i] = (seq + 1) & 0xFF
-                payload = bytes((seq + j) % 256 for j in range(payload_bytes))
+                payload = _ramp_payload(seq, payload_bytes)
                 out.append(
                     (
                         Packet(

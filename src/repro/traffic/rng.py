@@ -57,6 +57,65 @@ def _build_jump_tables():
 _JUMP = _build_jump_tables()
 
 
+def _single_shift_map(mask: int, width: int):
+    """Images of each basis state under one right-shift step.
+
+    The Galois step is linear over GF(2): characterise it by where it
+    sends each single-bit state.  Bit 0 carries the feedback (the lsb
+    pops out and XORs the mask in); every other bit just moves right.
+    """
+    images = []
+    for bit in range(width):
+        state = 1 << bit
+        lsb = state & 1
+        state >>= 1
+        if lsb:
+            state ^= mask
+        images.append(state)
+    return images
+
+
+def _apply_map(images, state: int) -> int:
+    out = 0
+    bit = 0
+    while state:
+        if state & 1:
+            out ^= images[bit]
+        state >>= 1
+        bit += 1
+    return out
+
+
+def _compose_map(outer, inner):
+    """The map ``x -> outer(inner(x))`` (matrix product over GF(2))."""
+    return [_apply_map(outer, image) for image in inner]
+
+
+def lfsr_jump(state: int, steps: int, mask: int = GALOIS_MASK, width: int = 32) -> int:
+    """Closed-form image of ``steps`` single LFSR shifts.
+
+    Square-and-multiply on the GF(2) shift matrix: O(width^2 log steps)
+    instead of O(steps), bit-identical to iterating :func:`_shift_once`
+    ``steps`` times (the hypothesis suite asserts this over random
+    widths, tap masks and distances).  This is what lets quiescence
+    fast-forward advance the traffic RNG over a skipped window, and the
+    farm cross-check a resumed checkpoint's RNG against its word count.
+    """
+    if steps < 0:
+        raise ValueError("steps must be non-negative")
+    if not 0 <= state < (1 << width):
+        raise ValueError(f"state must be a {width}-bit value")
+    acc = _single_shift_map(mask, width)
+    result = state
+    while steps:
+        if steps & 1:
+            result = _apply_map(acc, result)
+        steps >>= 1
+        if steps:
+            acc = _compose_map(acc, acc)
+    return result
+
+
 class HardwareLfsr:
     """The FPGA's 32-bit LFSR random number generator.
 
@@ -86,6 +145,22 @@ class HardwareLfsr:
             ^ _JUMP[3][s >> 24]
         )
         self.words_read += 1
+        return self.state
+
+    def jump(self, words: int) -> int:
+        """Advance ``words`` register reads in closed form.
+
+        Bit-identical to calling :meth:`next_u32` ``words`` times (each
+        read is 32 shifts, so this is one ``lfsr_jump`` of ``32*words``
+        steps) but O(log words).  Returns the new state — the value the
+        last of those reads would have returned (for ``words == 0`` the
+        state is unchanged).
+        """
+        if words < 0:
+            raise ValueError("words must be non-negative")
+        if words:
+            self.state = lfsr_jump(self.state, 32 * words)
+            self.words_read += words
         return self.state
 
     def next_below(self, bound: int) -> int:

@@ -156,6 +156,10 @@ class TrafficDriver:
         self.overloaded = False
         self.flits_generated = 0
         self.tracker = None  # optional PacketLatencyTracker
+        try:
+            self._encoder: Optional[FlitEncoder] = FlitEncoder(self.net)
+        except ValueError:  # sub-byte data path: keep the generic path
+            self._encoder = None
 
     def attach_tracker(self, tracker) -> None:
         """Register a latency tracker notified of every submit."""
@@ -185,12 +189,15 @@ class TrafficDriver:
         if self.tracker is not None:
             self.tracker.note_submit(record)
         queue = self.queues.setdefault((packet.src, vc), deque())
-        for flit in segment(packet, self.net):
+        if self._encoder is not None and packet.payload:
+            words = self._encoder.words(packet)
+        else:
+            dw = self.net.router.data_width
+            words = [flit.encode(dw) for flit in segment(packet, self.net)]
+        key = (packet.src, packet.seq)
+        for word in words:
             queue.append(
-                StimuliEntry(
-                    cycle, packet.src, vc, flit.encode(self.net.router.data_width),
-                    packet_key=(packet.src, packet.seq),
-                )
+                StimuliEntry(cycle, packet.src, vc, word, packet_key=key)
             )
             self.flits_generated += 1
 

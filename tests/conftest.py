@@ -10,6 +10,7 @@ of stalling CI.
 
 from __future__ import annotations
 
+import os
 import signal
 import sys
 import threading
@@ -29,6 +30,24 @@ except ImportError:
     _HAVE_PLUGIN = False
 
 _HAVE_SIGALRM = hasattr(signal, "SIGALRM")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_kernel_cache(tmp_path_factory):
+    """Point the generated-C kernel disk cache at a per-session scratch
+    directory (swept by pytest's tmp-dir retention), so test runs never
+    read stale ``.so`` files from — or leak freshly built ones into —
+    the user's ``~/.cache/repro-kernels``.  An explicit
+    ``REPRO_KERNEL_CACHE`` (say, a warmed CI cache) is respected."""
+    if os.environ.get("REPRO_KERNEL_CACHE"):
+        yield
+        return
+    path = tmp_path_factory.mktemp("repro-kernels")
+    os.environ["REPRO_KERNEL_CACHE"] = str(path)
+    try:
+        yield
+    finally:
+        os.environ.pop("REPRO_KERNEL_CACHE", None)
 
 
 @pytest.fixture(autouse=True)

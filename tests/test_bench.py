@@ -61,15 +61,26 @@ class TestBenchDocument:
             "partitioned-2",
             "partitioned-4",
         }
-        # The jit row is present exactly when a compiled backend exists
-        # on this machine; otherwise it is skipped with a reason.
+        # The compiled rows are present exactly when a compiled backend
+        # exists on this machine; otherwise each is skipped with a reason.
         if "batch-jit" in doc["engines"]:
             expected.add("batch-jit")
             assert doc["engines"]["batch-jit"]["backend"] == "jit"
             assert doc["speedup_batch_jit_vs_batch"] > 0
         else:
             assert "batch-jit" in doc["kernels"]["skipped"]
+        if "batch-levelized" in doc["engines"]:
+            expected.add("batch-levelized")
+            assert doc["engines"]["batch-levelized"]["backend"].startswith(
+                "levelized"
+            )
+            if "batch-jit" in doc["engines"]:
+                assert doc["speedup_batch_levelized_vs_batch_jit"] > 0
+        else:
+            assert "batch-levelized" in doc["kernels"]["skipped"]
         assert set(doc["engines"]) == expected
+        for row in doc["engines"].values():
+            assert row["host_cores"] >= 1
         assert doc["kernels"]["backends"]["numpy"] == "ok"
         batch = doc["engines"]["batch"]
         assert batch["lanes"] == bench.BATCH_LANES
@@ -169,6 +180,29 @@ class TestBenchDocument:
                 "no jit row recorded: the levelized row alone must then "
                 "carry the 2x acceptance floor"
             )
+
+    @pytest.mark.kernel_smoke
+    def test_committed_batch_levelized_row_floors(self):
+        """Acceptance floors on the recorded fused-chunk kernel speedup.
+
+        The batch-levelized row must have beaten the per-cycle
+        generated-C kernel by >= 1.5x aggregate, and the whole compiled
+        ladder must put the recorded aggregate rate >= 10x the pre-PR
+        sequential baseline.
+        """
+        path = os.path.join(REPO_ROOT, "BENCH_table3.json")
+        if not os.path.exists(path):
+            pytest.skip("no committed BENCH_table3.json to validate")
+        with open(path) as stream:
+            doc = json.load(stream)
+        if "batch-levelized" not in doc["engines"]:
+            pytest.skip("committed benchmark predates the batch-levelized row")
+        row = doc["engines"]["batch-levelized"]
+        assert row["backend"].startswith("levelized")
+        assert row["lanes"] >= 8
+        assert row["host_cores"] >= 1
+        assert doc["speedup_batch_levelized_vs_batch_jit"] >= 1.5
+        assert row["cps"] >= 10 * doc["pre_pr"]["sequential_cps"]
 
     def test_committed_pipeline_row_floors(self):
         """Acceptance floor on the recorded streamed-sweep speedup.

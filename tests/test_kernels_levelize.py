@@ -178,9 +178,14 @@ class TestEngineFallback:
         with pytest.raises(ValueError, match="sequential"):
             make_engine("sequential", cfg, kernel="jit")
         with pytest.raises(ValueError, match="batch"):
-            make_engine("batch", cfg, kernel="levelized")
+            make_engine("batch", cfg, kernel="bogus")
         with pytest.raises(ValueError, match="rtl"):
             make_engine("rtl", cfg, kernel="jit")
+        # batch + levelized is a valid pairing: the fused chunk kernel.
+        assert make_engine("batch", cfg, kernel="levelized").kernel in (
+            "levelized",
+            "python",  # no compiler: falls back, never raises
+        )
 
 
 class TestBackendLadder:
